@@ -1,0 +1,34 @@
+# Reproduction targets for "Search on a Line with Faulty Robots".
+
+GO ?= go
+
+.PHONY: all build test race bench repro data clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus micro benchmarks.
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate every table and figure as text on stdout.
+repro:
+	$(GO) run ./cmd/paper
+
+# Export every experiment's datasets as CSV and JSON under data/.
+data:
+	$(GO) run ./cmd/paper -csv data/csv -json data/json > /dev/null
+	@echo "datasets written to data/csv and data/json"
+
+clean:
+	rm -rf data
+	$(GO) clean ./...

@@ -1,0 +1,129 @@
+// Command linesearch simulates one parallel search on the line: n
+// robots, up to f faulty, a target position, and an optional explicit
+// fault assignment. It prints the closed-form guarantees, the event
+// timeline, and the detection summary.
+//
+// Usage:
+//
+//	linesearch -n 3 -f 1 -target 7.5 [-strategy proportional] [-faulty 0,2] [-quiet]
+//
+// Without -faulty the adversarial worst-case assignment is used (the f
+// earliest visitors of the target are made faulty).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"linesearch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linesearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linesearch", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of robots")
+	f := fs.Int("f", 1, "maximum number of faulty robots")
+	target := fs.Float64("target", 7.5, "target position (|x| >= 1)")
+	stratName := fs.String("strategy", "", "strategy: proportional, twogroup, doubling, cone:<beta>, uniform:<beta> (default: the paper's recommendation)")
+	faultyFlag := fs.String("faulty", "", "comma-separated faulty robot indices (default: adversarial worst case)")
+	minDist := fs.Float64("mindist", 1, "known minimal target distance (scales the schedule)")
+	quiet := fs.Bool("quiet", false, "suppress the event timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if math.Abs(*target) < *minDist {
+		return fmt.Errorf("target %g is closer than the minimal distance %g", *target, *minDist)
+	}
+
+	opts := []linesearch.Option{linesearch.WithMinDistance(*minDist)}
+	if *stratName != "" {
+		opts = append(opts, linesearch.WithStrategy(*stratName))
+	}
+	s, err := linesearch.NewSearcher(*n, *f, opts...)
+	if err != nil {
+		return err
+	}
+
+	faulty := s.WorstFaultSet(*target)
+	chosen := "adversarial worst case"
+	if *faultyFlag != "" {
+		if faulty, err = parseIndices(*faultyFlag); err != nil {
+			return err
+		}
+		if len(faulty) > *f {
+			return fmt.Errorf("%d faulty robots exceed the budget f=%d", len(faulty), *f)
+		}
+		chosen = "user supplied"
+	}
+
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		return err
+	}
+	bounds, err := linesearch.Bounds(*n, *f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "search on a line: n=%d robots, f=%d faulty, strategy=%s\n", *n, *f, s.Strategy())
+	fmt.Fprintf(out, "regime: %s\n", bounds.Regime)
+	fmt.Fprintf(out, "competitive ratio: %.6g (lower bound for any algorithm: %.6g)\n", cr, bounds.Lower)
+	if !math.IsNaN(bounds.Beta) {
+		fmt.Fprintf(out, "cone slope beta* = %.6g, expansion factor = %.6g\n", bounds.Beta, bounds.Expansion)
+	}
+	fmt.Fprintf(out, "target at x = %g, faulty robots %v (%s)\n\n", *target, faulty, chosen)
+
+	detect, err := s.DetectionTime(*target, faulty)
+	if err != nil {
+		return err
+	}
+	worst := s.SearchTime(*target)
+
+	if !*quiet {
+		horizon := worst * 1.05
+		if math.IsInf(horizon, 1) {
+			horizon = 100 * math.Abs(*target)
+		}
+		events, err := s.Timeline(*target, faulty, horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "timeline:")
+		for _, e := range events {
+			fmt.Fprintf(out, "  t=%-12.4f robot %-2d %-7s x=%.4f\n", e.T, e.Robot, e.Kind, e.X)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if math.IsInf(detect, 1) {
+		fmt.Fprintf(out, "target NOT detected: every robot that reaches x=%g is faulty\n", *target)
+	} else {
+		fmt.Fprintf(out, "detected at t = %.6g (ratio %.6g; worst case for this target: t = %.6g, ratio %.6g)\n",
+			detect, detect/math.Abs(*target), worst, worst/math.Abs(*target))
+	}
+	return nil
+}
+
+// parseIndices parses "0,2,5" into a sorted index list.
+func parseIndices(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		idx, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid robot index %q: %w", p, err)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+// Command lowerbound solves the Theorem 2 equation
+// (alpha-1)^n (alpha-3) = 2^(n+1) for a given number of robots and
+// prints the adversarial target ladder that certifies the bound.
+//
+// Usage:
+//
+//	lowerbound -n 5 [-alpha 3.3]
+//
+// With -alpha, a weaker explicit bound is used instead of the root
+// (useful for exploring the trade-off between alpha and ladder depth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"linesearch/internal/adversary"
+	"linesearch/internal/analysis"
+	"linesearch/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	n := fs.Int("n", 5, "number of robots (the bound applies whenever n < 2f+2)")
+	alphaFlag := fs.Float64("alpha", 0, "explicit alpha > 3 (default: the exact Theorem 2 root)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		ladder adversary.Ladder
+		err    error
+	)
+	if *alphaFlag != 0 {
+		ladder, err = adversary.NewLadderWithAlpha(*n, *alphaFlag)
+	} else {
+		ladder, err = adversary.NewLadder(*n)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Theorem 2 for n = %d robots (any f with n < 2f+2):\n", *n)
+	fmt.Fprintf(out, "  alpha = %.9f satisfies (alpha-1)^%d (alpha-3) <= 2^%d\n", ladder.Alpha, *n, *n+1)
+	fmt.Fprintf(out, "  every algorithm has competitive ratio >= alpha\n")
+	if asym, aerr := analysis.Corollary2Bound(float64(*n)); aerr == nil {
+		fmt.Fprintf(out, "  asymptotic form (Corollary 2): 3 + 2 ln n / n - 2 ln ln n / n = %.6f\n", asym)
+	}
+	fmt.Fprintln(out)
+
+	tb := table.New("i", "ladder point x_i", "time budget alpha*x_i")
+	for i, x := range ladder.Points {
+		tb.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.6f", x), fmt.Sprintf("%.6f", ladder.Alpha*x))
+	}
+	fmt.Fprint(out, tb.Render())
+	fmt.Fprintf(out, "\nadversary candidate targets: +-1 and +-x_i (%d placements)\n", 2+2*len(ladder.Points))
+	return nil
+}

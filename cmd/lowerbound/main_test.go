@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Theorem 2 for n = 5",
+		"alpha = 3.5703",
+		"ladder point",
+		"12 placements",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunExplicitN(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "alpha = 3.760555") {
+		t.Errorf("n=3 root wrong:\n%s", out.String())
+	}
+}
+
+func TestRunExplicitAlpha(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-alpha", "3.3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "alpha = 3.3") {
+		t.Errorf("explicit alpha not used:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-n", "4", "-alpha", "2.5"}, // alpha <= 3
+		{"-n", "4", "-alpha", "9"},   // violates the Theorem 2 inequality
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

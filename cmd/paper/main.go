@@ -1,0 +1,98 @@
+// Command paper regenerates every table and figure of "Search on a Line
+// with Faulty Robots" (PODC 2016), plus this repository's validation and
+// ablation experiments.
+//
+// Usage:
+//
+//	paper [-csv DIR] [-json DIR] [experiment ...]
+//
+// With no arguments, every experiment runs. Known experiments:
+// table1, fig1, fig2, fig3, fig4, fig5left, fig5right, fig6, fig7,
+// lowerbound, asymptotics, verify, betasweep. The optional -csv/-json
+// flags export each experiment's datasets into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"linesearch/internal/experiments"
+	"linesearch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	csvDir := fs.String("csv", "", "directory to export CSV datasets into")
+	jsonDir := fs.String("json", "", "directory to export JSON datasets into")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paper [-csv DIR] [-json DIR] [experiment ...]\nexperiments: %s\n", strings.Join(experiments.IDs(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== %s: %s ==\n\n%s\n", res.ID, res.Title, res.Report)
+		if err := export(res, *csvDir, *jsonDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// export writes the experiment's datasets into the requested formats.
+func export(res *experiments.Result, csvDir, jsonDir string) error {
+	for _, d := range res.Data {
+		if csvDir != "" {
+			if err := writeDataset(d, filepath.Join(csvDir, d.Name+".csv"), (*trace.Dataset).WriteCSV); err != nil {
+				return err
+			}
+		}
+		if jsonDir != "" {
+			if err := writeDataset(d, filepath.Join(jsonDir, d.Name+".json"), (*trace.Dataset).WriteJSON); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeDataset(d *trace.Dataset, path string, write func(*trace.Dataset, io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("export %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export %s: %w", path, err)
+	}
+	if err := write(d, f); err != nil {
+		f.Close()
+		return fmt.Errorf("export %s: %w", path, err)
+	}
+	return f.Close()
+}

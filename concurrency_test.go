@@ -1,0 +1,47 @@
+package linesearch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSearcherConcurrentUse exercises the documented guarantee that a
+// Searcher is safe for concurrent use: parallel queries across all API
+// surfaces, checked under -race.
+func TestSearcherConcurrentUse(t *testing.T) {
+	s, err := New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.SearchTime(17.5)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := s.SearchTime(17.5); got != want {
+				t.Errorf("goroutine %d: SearchTime = %v, want %v", g, got, want)
+			}
+			if _, _, err := s.MeasureCR(); err != nil {
+				errs <- err
+			}
+			if _, err := s.Timeline(3, []int{0, 1}, 50); err != nil {
+				errs <- err
+			}
+			if _, err := s.MonteCarlo(50, int64(g)); err != nil {
+				errs <- err
+			}
+			if _, err := s.Positions(float64(g) + 1); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package linesearch_test
+
+import (
+	"fmt"
+
+	"linesearch"
+)
+
+// The recommended searcher for three robots with one possible fault is
+// the paper's proportional schedule algorithm A(3, 1).
+func ExampleNew() {
+	s, err := linesearch.New(3, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s.Strategy())
+	cr, _ := s.CompetitiveRatio()
+	fmt.Printf("%.4f\n", cr)
+	// Output:
+	// proportional
+	// 5.2331
+}
+
+// Bounds returns every closed-form guarantee of the paper for a pair.
+func ExampleBounds() {
+	b, err := linesearch.Bounds(5, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("upper %.4f lower %.4f beta* %.4f expansion %.4f\n", b.Upper, b.Lower, b.Beta, b.Expansion)
+	// Output:
+	// upper 4.4343 lower 3.5704 beta* 1.4000 expansion 6.0000
+}
+
+// SearchTime is the worst case over every fault assignment: the visit
+// of the (f+1)-st distinct robot.
+func ExampleSearcher_SearchTime() {
+	s, _ := linesearch.New(3, 1)
+	fmt.Printf("%.4f\n", s.SearchTime(4))
+	// The target at x = 4 is a turning point of robot 0; with robot 0's
+	// predecessor faulty the second distinct visitor arrives at 14.6667,
+	// ratio 3.6667 < CR = 5.2331.
+	// Output:
+	// 14.6667
+}
+
+// With n >= 2f+2 robots the trivial two-group sweep finds every target
+// at time exactly equal to its distance.
+func ExampleNew_trivialRegime() {
+	s, _ := linesearch.New(6, 2)
+	fmt.Println(s.Strategy())
+	fmt.Println(s.SearchTime(42))
+	// Output:
+	// twogroup
+	// 42
+}
+
+// CompetitiveRatio and LowerBound give the paper's closed forms without
+// building a searcher.
+func ExampleCompetitiveRatio() {
+	cr, _ := linesearch.CompetitiveRatio(2, 1) // n = f+1: doubling is optimal
+	lb, _ := linesearch.LowerBound(2, 1)
+	fmt.Printf("%.0f %.0f\n", cr, lb)
+	// Output:
+	// 9 9
+}
+
+// RobotsNeeded inverts Theorem 1: how large a fleet guarantees a given
+// ratio under f faults?
+func ExampleRobotsNeeded() {
+	n, _ := linesearch.RobotsNeeded(2, 4.5) // tolerate 2 faults within 4.5x
+	fmt.Println(n)
+	// Output:
+	// 5
+}
+
+// NewSearcher accepts functional options: an explicit strategy and a
+// known minimal target distance.
+func ExampleNewSearcher() {
+	s, err := linesearch.NewSearcher(3, 1,
+		linesearch.WithStrategy("cone:2"),
+		linesearch.WithMinDistance(10),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s.Strategy(), s.MinDistance())
+	// Output:
+	// cone:2 10
+}

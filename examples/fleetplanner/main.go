@@ -1,0 +1,77 @@
+// Fleetplanner: inverse design with the closed forms. Instead of asking
+// "what ratio do n robots with f faults achieve?", a fleet operator asks
+// the reverse questions:
+//
+//   - I must tolerate f sensor failures and my SLA allows detection
+//     within maxCR times the target distance — how many robots do I buy?
+//   - I own n robots — how many failures can I absorb within the SLA?
+//
+// Both answers come straight from Theorem 1's monotone closed form, and
+// the planner prints the full trade-off table. It also shows the
+// WithMinDistance option: when the target is known to be at least some
+// distance away, the schedule is dilated so no time is wasted nearby.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linesearch"
+)
+
+func main() {
+	fmt.Println("fleet sizes required to tolerate f faults within a competitive-ratio SLA")
+	fmt.Printf("%6s", "f \\ CR")
+	slas := []float64{9, 7, 5, 4, 3.5, 3.2}
+	for _, sla := range slas {
+		fmt.Printf("%8.1f", sla)
+	}
+	fmt.Println()
+	for f := 1; f <= 8; f++ {
+		fmt.Printf("%6d", f)
+		for _, sla := range slas {
+			n, err := linesearch.RobotsNeeded(f, sla)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d", n)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nfaults tolerable by a fixed fleet within the same SLAs")
+	fmt.Printf("%6s", "n \\ CR")
+	for _, sla := range slas {
+		fmt.Printf("%8.1f", sla)
+	}
+	fmt.Println()
+	for n := 2; n <= 9; n++ {
+		fmt.Printf("%6d", n)
+		for _, sla := range slas {
+			f, err := linesearch.FaultsTolerable(n, sla)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d", f)
+		}
+		fmt.Println()
+	}
+
+	// Reading the tables: tolerating more faults at a tighter SLA costs
+	// robots superlinearly until the trivial regime (n = 2f+2) caps it.
+	fmt.Println("\nexample decision: SLA = 4.5x, must tolerate 2 faults")
+	n, err := linesearch.RobotsNeeded(2, 4.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := linesearch.NewSearcher(n, 2, linesearch.WithMinDistance(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=> buy %d robots, run %s scaled for targets >= 50 m: guaranteed %.3fx\n", n, s.Strategy(), cr)
+	fmt.Printf("   a target at 200 m is confirmed within %.0f m of travel\n", s.SearchTime(200))
+}

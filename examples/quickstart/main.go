@@ -1,0 +1,48 @@
+// Quickstart: build the paper's recommended searcher for 3 robots with
+// at most 1 fault, look up its guarantees, and run one search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linesearch"
+)
+
+func main() {
+	// Three robots leave the origin; at most one is faulty (it follows
+	// its trajectory but can never detect the target).
+	s, err := linesearch.New(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed-form guarantees from the paper.
+	b, err := linesearch.Bounds(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy: %s (%s)\n", s.Strategy(), b.Regime)
+	fmt.Printf("competitive ratio: %.4f   (no algorithm can beat %.4f)\n", b.Upper, b.Lower)
+	fmt.Printf("cone slope beta* = %.4f, expansion factor = %.4f\n\n", b.Beta, b.Expansion)
+
+	// A target hides at x = 7.5. SearchTime is the worst case over
+	// every possible fault assignment.
+	const target = 7.5
+	worst := s.SearchTime(target)
+	fmt.Printf("target at x = %g: found within t = %.4f (ratio %.4f)\n", target, worst, worst/target)
+
+	// The adversary's best move is to corrupt the earliest visitors.
+	faulty := s.WorstFaultSet(target)
+	fmt.Printf("worst-case faulty robot(s): %v\n\n", faulty)
+
+	// Replay the search as an event log.
+	events, err := s.Timeline(target, faulty, worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("event timeline:")
+	for _, e := range events {
+		fmt.Printf("  t=%-10.4f robot %d %-7s x=%.4f\n", e.T, e.Robot, e.Kind, e.X)
+	}
+}

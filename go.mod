@@ -1,0 +1,3 @@
+module linesearch
+
+go 1.22

@@ -1,0 +1,55 @@
+package linesearch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestTheorem1AcrossTheWholeRegime is the repository's strongest single
+// check: for EVERY proportional pair with n <= 13, the realised
+// algorithm's measured competitive ratio equals Theorem 1's closed form,
+// and the Theorem 2 adversary extracts at least its certified bound.
+// This exercises geometry, trajectories, schedule construction, the
+// exact simulator and the adversary in one pass.
+func TestTheorem1AcrossTheWholeRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-regime sweep skipped in -short mode")
+	}
+	for n := 2; n <= 13; n++ {
+		for f := 0; f < n; f++ {
+			if n >= 2*f+2 || n <= f {
+				continue // outside the proportional regime
+			}
+			n, f := n, f
+			t.Run(fmt.Sprintf("n=%d_f=%d", n, f), func(t *testing.T) {
+				t.Parallel()
+				s, err := New(n, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				analytic, err := s.CompetitiveRatio()
+				if err != nil {
+					t.Fatal(err)
+				}
+				measured, witness, err := s.MeasureCR()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(measured-analytic) > 1e-6 {
+					t.Errorf("measured CR %v != Theorem 1 %v (witness x=%v)", measured, analytic, witness)
+				}
+				alpha, ratio, err := s.VerifyLowerBound()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ratio < alpha-1e-9 {
+					t.Errorf("adversary extracted only %v < alpha %v", ratio, alpha)
+				}
+				if analytic < alpha-1e-9 {
+					t.Errorf("Theorem 1 value %v below Theorem 2 bound %v", analytic, alpha)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/geom"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+	"linesearch/internal/trajectory"
+)
+
+func TestLemmaBounds(t *testing.T) {
+	if got := Lemma7Bound(3, 2); got != 8 {
+		t.Errorf("Lemma7Bound(3, 2) = %v, want 8", got)
+	}
+	if got := Lemma6Deadline(2); got != 8 {
+		t.Errorf("Lemma6Deadline(2) = %v, want 8", got)
+	}
+}
+
+// TestLemma7HoldsForClassifiedTrajectories: any robot the classifier
+// marks positive or negative for x must be unable to reach both +-y
+// before 2x + y — the statement of Lemma 7, checked on the realised
+// schedules.
+func TestLemma7HoldsForClassifiedTrajectories(t *testing.T) {
+	plan, err := sim.FromStrategy(strategy.Proportional{}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1.5, 2, 4, 10} {
+		for ri, tr := range plan.Trajectories() {
+			cls, err := ClassifyTrajectory(tr, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cls == ClassNeither {
+				continue
+			}
+			for _, y := range []float64{1, 1.5, 2, 5} {
+				tPlus, okP := tr.FirstVisit(y)
+				tMinus, okM := tr.FirstVisit(-y)
+				if !okP || !okM {
+					continue
+				}
+				both := math.Max(tPlus, tMinus)
+				if both < Lemma7Bound(x, y)-1e-9 {
+					t.Errorf("robot %d (%v for x=%v) reaches +-%v by %v < %v, violating Lemma 7",
+						ri, cls, x, y, both, Lemma7Bound(x, y))
+				}
+			}
+		}
+	}
+}
+
+// TestLemma6HoldsForFastCoverers: a robot visiting both +-x strictly
+// before 3x+2 must be positive or negative for x.
+func TestLemma6HoldsForFastCoverers(t *testing.T) {
+	// Hand-built fast coverer: 0 -> 2 -> -2, reaching both by t=6 < 8.
+	fast := trajectory.Must([]geom.Segment{
+		{From: geom.Point{X: 0, T: 0}, To: geom.Point{X: 2, T: 2}},
+		{From: geom.Point{X: 2, T: 2}, To: geom.Point{X: -2, T: 6}},
+	}, nil)
+	cls, err := ClassifyTrajectory(fast, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls == ClassNeither {
+		t.Errorf("fast coverer classified neither, contradicting Lemma 6")
+	}
+
+	// And across the realised A(3,1): every robot reaching both +-x
+	// before 3x+2 must be classified.
+	plan, err := sim.FromStrategy(strategy.Proportional{}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1.2, 1.7, 2.6} {
+		for ri, tr := range plan.Trajectories() {
+			tPlus, okP := tr.FirstVisit(x)
+			tMinus, okM := tr.FirstVisit(-x)
+			if !okP || !okM {
+				continue
+			}
+			if math.Max(tPlus, tMinus) < Lemma6Deadline(x) {
+				cls, err := ClassifyTrajectory(tr, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cls == ClassNeither {
+					t.Errorf("robot %d covers +-%v by %v < %v but is classified neither",
+						ri, x, math.Max(tPlus, tMinus), Lemma6Deadline(x))
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeLadderFindsUncoveredLevel: Theorem 2 guarantees some level
+// of the ladder defeats any plan with n < 2f+2 robots.
+func TestAnalyzeLadderFindsUncoveredLevel(t *testing.T) {
+	for _, pair := range [][2]int{{2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}, {11, 5}} {
+		n, f := pair[0], pair[1]
+		plan, err := sim.FromStrategy(strategy.Proportional{}, n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysis, err := AnalyzeLadder(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(analysis.Levels) != n+1 {
+			t.Fatalf("(%d,%d): %d levels, want %d", n, f, len(analysis.Levels), n+1)
+		}
+		if analysis.UncoveredLevel == -1 {
+			t.Errorf("(%d,%d): every level covered — contradicts Theorem 2", n, f)
+			continue
+		}
+		// At the uncovered level, one endpoint is reached by at most f
+		// robots within the budget; that endpoint realises a ratio of
+		// at least alpha.
+		lv := analysis.Levels[analysis.UncoveredLevel]
+		plus, minus := 0, 0
+		for _, rr := range lv.Robots {
+			if rr.VisitPlus < lv.Budget {
+				plus++
+			}
+			if rr.VisitMinus < lv.Budget {
+				minus++
+			}
+		}
+		if plus > f && minus > f {
+			t.Errorf("(%d,%d): level %d marked uncovered but both endpoints have > f visitors", n, f, lv.Level)
+		}
+		target := lv.X
+		if plus > f {
+			target = -lv.X
+		}
+		ratio, err := plan.Ratio(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < analysis.Ladder.Alpha-1e-9 {
+			t.Errorf("(%d,%d): uncovered level target %v has ratio %v < alpha %v", n, f, target, ratio, analysis.Ladder.Alpha)
+		}
+	}
+}
+
+// TestAnalyzeLadderRobotReportsConsistent: per-robot visit times in the
+// analysis must match the plan's own first visits.
+func TestAnalyzeLadderRobotReportsConsistent(t *testing.T) {
+	plan, err := sim.FromStrategy(strategy.Proportional{}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := AnalyzeLadder(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := plan.Trajectories()
+	for _, lv := range analysis.Levels {
+		if len(lv.Robots) != 3 {
+			t.Fatalf("level %d has %d robot reports", lv.Level, len(lv.Robots))
+		}
+		for _, rr := range lv.Robots {
+			want, ok := trajs[rr.Robot].FirstVisit(lv.X)
+			if !ok {
+				want = math.Inf(1)
+			}
+			if rr.VisitPlus != want {
+				t.Errorf("level %d robot %d: VisitPlus %v, want %v", lv.Level, rr.Robot, rr.VisitPlus, want)
+			}
+			if rr.CoversLevel != (rr.VisitPlus < lv.Budget && rr.VisitMinus < lv.Budget) {
+				t.Errorf("level %d robot %d: CoversLevel inconsistent", lv.Level, rr.Robot)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"linesearch/internal/numeric"
+)
+
+// HalfGroupCR returns the competitive ratio of A(2f+1, f) expressed as a
+// function of n = 2f+1 (the curve of Figure 5, left):
+//
+//	(2 + 2/n)^(1 + 1/n) * (2/n)^(-1/n) + 1.
+//
+// n is real-valued so the continuous curve of the figure can be
+// rendered; integer odd n correspond to actual algorithms. The function
+// tends to 3 as n grows.
+func HalfGroupCR(n float64) (float64, error) {
+	if !(n > 0) {
+		return 0, fmt.Errorf("analysis: HalfGroupCR requires n > 0, got %g", n)
+	}
+	return numeric.Pow(2+2/n, 1+1/n)*numeric.Pow(2/n, -1/n) + 1, nil
+}
+
+// AsymptoticCR returns the limiting competitive ratio of A(n, f) as
+// n -> infinity with a = n/f held constant (Figure 5, right):
+//
+//	(4/a)^(2/a) * (4/a - 2)^(1 - 2/a) + 1.
+//
+// Defined for 1 <= a <= 2; the endpoints evaluate to 9 (a = 1, the
+// doubling regime) and 3 (a = 2, approaching the trivial regime, using
+// the 0^0 = 1 limit).
+func AsymptoticCR(a float64) (float64, error) {
+	if a < 1 || a > 2 {
+		return 0, fmt.Errorf("analysis: AsymptoticCR requires 1 <= a <= 2, got %g", a)
+	}
+	base := 4/a - 2
+	if base < 0 {
+		base = 0 // a few ulps below zero at a = 2
+	}
+	return numeric.Pow(4/a, 2/a)*numeric.Pow(base, 1-2/a) + 1, nil
+}
+
+// Corollary1Bound returns the paper's upper asymptotic for the n = 2f+1
+// schedule: 3 + 4 ln(n)/n. Low-order O(1/n) terms are excluded, exactly
+// as in the paper's statement.
+func Corollary1Bound(n float64) (float64, error) {
+	if !(n > 1) {
+		return 0, fmt.Errorf("analysis: Corollary1Bound requires n > 1, got %g", n)
+	}
+	return 3 + 4*math.Log(n)/n, nil
+}
+
+// Corollary2Bound returns the paper's lower asymptotic for any algorithm
+// with n < 2f+2 robots: 3 + 2 ln(n)/n - 2 ln(ln(n))/n. Defined for
+// n > 1 (ln ln n requires n > 1; the bound is only meaningful for large
+// n).
+func Corollary2Bound(n float64) (float64, error) {
+	if !(n > 1) {
+		return 0, fmt.Errorf("analysis: Corollary2Bound requires n > 1, got %g", n)
+	}
+	return 3 + 2*math.Log(n)/n - 2*math.Log(math.Log(n))/n, nil
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/numeric"
+)
+
+func TestHalfGroupCRMatchesUpperBound(t *testing.T) {
+	// At odd integer n = 2f+1 the continuous Figure-5 curve must agree
+	// exactly with Theorem 1's discrete formula.
+	for f := 1; f <= 60; f++ {
+		n := 2*f + 1
+		curve, err := HalfGroupCR(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		discrete, err := UpperBoundCR(n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(curve, discrete, 1e-9) {
+			t.Errorf("n=%d: HalfGroupCR = %v, UpperBoundCR = %v", n, curve, discrete)
+		}
+	}
+}
+
+func TestHalfGroupCRKnownValues(t *testing.T) {
+	got, err := HalfGroupCR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 5.233, 2e-4) {
+		t.Errorf("HalfGroupCR(3) = %v, want ~5.233", got)
+	}
+}
+
+func TestHalfGroupCRDecreasesToThree(t *testing.T) {
+	prev := math.Inf(1)
+	for n := 3.0; n <= 2000; n *= 1.3 {
+		got, err := HalfGroupCR(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev {
+			t.Errorf("HalfGroupCR(%v) = %v not decreasing (prev %v)", n, got, prev)
+		}
+		if got <= 3 {
+			t.Errorf("HalfGroupCR(%v) = %v at or below the limit 3", n, got)
+		}
+		prev = got
+	}
+	// The curve must approach 3: within 0.01 by n = 10^4.
+	got, err := HalfGroupCR(1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got-3 > 0.01 {
+		t.Errorf("HalfGroupCR(1e4) = %v, want within 0.01 of 3", got)
+	}
+}
+
+func TestHalfGroupCRRejectsNonPositive(t *testing.T) {
+	if _, err := HalfGroupCR(0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := HalfGroupCR(-3); err == nil {
+		t.Error("n = -3 accepted")
+	}
+}
+
+func TestAsymptoticCREndpoints(t *testing.T) {
+	// a = 1: the n = f+1 regime, CR 9. a = 2: approaching trivial, CR 3.
+	got, err := AsymptoticCR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 9, 1e-12) {
+		t.Errorf("AsymptoticCR(1) = %v, want 9", got)
+	}
+	got, err = AsymptoticCR(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 3, 1e-12) {
+		t.Errorf("AsymptoticCR(2) = %v, want 3", got)
+	}
+}
+
+func TestAsymptoticCRMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for _, a := range numeric.Linspace(1, 2, 101) {
+		got, err := AsymptoticCR(a)
+		if err != nil {
+			t.Fatalf("AsymptoticCR(%v): %v", a, err)
+		}
+		if got > prev+1e-12 {
+			t.Errorf("AsymptoticCR(%v) = %v increased (prev %v)", a, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestAsymptoticCRIsLimitOfUpperBound(t *testing.T) {
+	// Fix a = n/f and let n grow: UpperBoundCR(n, n/a) must approach
+	// AsymptoticCR(a).
+	for _, a := range []float64{1.25, 1.5, 1.8} {
+		limit, err := AsymptoticCR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Choose a large f and n = round(a*f) still in the proportional
+		// regime.
+		f := 40000
+		n := int(math.Round(a * float64(f)))
+		got, err := UpperBoundCR(n, f)
+		if err != nil {
+			t.Fatalf("UpperBoundCR(%d, %d): %v", n, f, err)
+		}
+		if !numeric.AlmostEqual(got, limit, 1e-3) {
+			t.Errorf("a=%v: UpperBoundCR(%d,%d) = %v, limit %v", a, n, f, got, limit)
+		}
+	}
+}
+
+func TestAsymptoticCRRejectsOutOfRange(t *testing.T) {
+	for _, a := range []float64{0.99, 2.01, -1} {
+		if _, err := AsymptoticCR(a); err == nil {
+			t.Errorf("AsymptoticCR(%v) accepted", a)
+		}
+	}
+}
+
+func TestCorollary1BoundsTheExactCR(t *testing.T) {
+	// Corollary 1: CR(A(2f+1, f)) <= 3 + 4 ln n / n + O(1)/n. Verify the
+	// exact CR is below the bound for all moderately large n (the O(1)/n
+	// slack is absorbed well before n = 15).
+	for f := 7; f <= 4000; f = f*2 + 1 {
+		n := 2*f + 1
+		exact, err := UpperBoundCR(n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := Corollary1Bound(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact > bound {
+			t.Errorf("n=%d: exact CR %v exceeds Corollary 1 bound %v", n, exact, bound)
+		}
+	}
+}
+
+func TestCorollary2BelowTheorem2(t *testing.T) {
+	// The closed-form asymptotic lower bound must not exceed the exact
+	// Theorem 2 root (it drops low-order positive terms).
+	for _, n := range []int{10, 25, 100, 1000, 10000} {
+		alpha, err := Theorem2Alpha(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Corollary2Bound(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 > alpha+1e-9 {
+			t.Errorf("n=%d: Corollary 2 bound %v above exact root %v", n, c2, alpha)
+		}
+	}
+}
+
+func TestAsymptoticSandwich(t *testing.T) {
+	// The headline result: for n = 2f+1, the exact CR sits between the
+	// Theorem 2 lower bound and the Corollary 1 upper bound, and all
+	// three converge to 3.
+	for f := 50; f <= 50000; f *= 10 {
+		n := 2*f + 1
+		exact, err := UpperBoundCR(n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower, err := Theorem2Alpha(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper, err := Corollary1Bound(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lower <= exact && exact <= upper) {
+			t.Errorf("n=%d: sandwich violated: %v <= %v <= %v", n, lower, exact, upper)
+		}
+		if upper-3 > 10*math.Log(float64(n))/float64(n) {
+			t.Errorf("n=%d: upper bound %v not converging to 3", n, upper)
+		}
+	}
+}
+
+func TestCorollaryBoundsRejectSmallN(t *testing.T) {
+	if _, err := Corollary1Bound(1); err == nil {
+		t.Error("Corollary1Bound(1) accepted")
+	}
+	if _, err := Corollary2Bound(0.5); err == nil {
+		t.Error("Corollary2Bound(0.5) accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table1Row is one line of the paper's Table 1: upper and lower bounds
+// on the competitive ratio for a specific pair (n, f), plus the
+// expansion factor of A(n, f) where it is defined.
+type Table1Row struct {
+	N, F             int
+	CompetitiveRatio float64 // CR of A(n, f), or 1 in the trivial regime
+	LowerBound       float64 // best lower bound the paper proves
+	Expansion        float64 // expansion factor of A(n, f); NaN in the trivial regime
+}
+
+// HasExpansion reports whether the row's algorithm has an expansion
+// factor (i.e. is a zig-zag schedule rather than the trivial sweep).
+func (r Table1Row) HasExpansion() bool { return !math.IsNaN(r.Expansion) }
+
+// Table1Pairs lists the (n, f) pairs of the paper's Table 1 in the
+// paper's order.
+func Table1Pairs() [][2]int {
+	return [][2]int{
+		{2, 1}, {3, 1}, {3, 2},
+		{4, 1}, {4, 2}, {4, 3},
+		{5, 1}, {5, 2}, {5, 3}, {5, 4},
+		{11, 5}, {41, 20},
+	}
+}
+
+// Table1Row computes one row of Table 1 for an arbitrary valid pair.
+func ComputeTable1Row(n, f int) (Table1Row, error) {
+	regime, err := Classify(n, f)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	if regime == RegimeHopeless {
+		return Table1Row{}, fmt.Errorf("analysis: no algorithm exists for n=%d <= f=%d", n, f)
+	}
+	row := Table1Row{N: n, F: f, Expansion: math.NaN()}
+	if row.CompetitiveRatio, err = UpperBoundCR(n, f); err != nil {
+		return Table1Row{}, err
+	}
+	if row.LowerBound, err = LowerBoundCR(n, f); err != nil {
+		return Table1Row{}, err
+	}
+	if regime == RegimeProportional {
+		if row.Expansion, err = ExpansionFactor(n, f); err != nil {
+			return Table1Row{}, err
+		}
+	}
+	return row, nil
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1() ([]Table1Row, error) {
+	pairs := Table1Pairs()
+	rows := make([]Table1Row, 0, len(pairs))
+	for _, p := range pairs {
+		row, err := ComputeTable1Row(p[0], p[1])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: Table 1 row (%d, %d): %w", p[0], p[1], err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

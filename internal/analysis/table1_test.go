@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/numeric"
+)
+
+// TestTable1MatchesPaper reproduces every cell of the paper's Table 1.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := []struct {
+		n, f      int
+		cr        float64
+		lower     float64
+		expansion float64 // NaN means the paper leaves the cell blank
+	}{
+		{2, 1, 9, 9, 2},
+		{3, 1, 5.24, 3.76, 4},
+		{3, 2, 9, 9, 2},
+		{4, 1, 1, 1, math.NaN()},
+		{4, 2, 6.2, 3.649, 3},
+		{4, 3, 9, 9, 2},
+		{5, 1, 1, 1, math.NaN()},
+		{5, 2, 4.43, 3.57, 6},
+		{5, 3, 6.76, 3.57, 8.0 / 3},
+		{5, 4, 9, 9, 2},
+		{11, 5, 3.73, 3.345, 12},
+		{41, 20, 3.24, 3.12, 42},
+	}
+
+	rows, err := Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table1 has %d rows, want %d", len(rows), len(want))
+	}
+	const tol = 7e-3 // the paper prints 3 significant digits
+	for i, w := range want {
+		r := rows[i]
+		if r.N != w.n || r.F != w.f {
+			t.Errorf("row %d is (%d, %d), want (%d, %d)", i, r.N, r.F, w.n, w.f)
+			continue
+		}
+		if !numeric.AlmostEqual(r.CompetitiveRatio, w.cr, tol) {
+			t.Errorf("(%d,%d): CR = %v, want %v", w.n, w.f, r.CompetitiveRatio, w.cr)
+		}
+		if !numeric.AlmostEqual(r.LowerBound, w.lower, tol) {
+			t.Errorf("(%d,%d): lower = %v, want %v", w.n, w.f, r.LowerBound, w.lower)
+		}
+		if math.IsNaN(w.expansion) {
+			if r.HasExpansion() {
+				t.Errorf("(%d,%d): expansion = %v, want blank", w.n, w.f, r.Expansion)
+			}
+		} else if !numeric.AlmostEqual(r.Expansion, w.expansion, tol) {
+			t.Errorf("(%d,%d): expansion = %v, want %v", w.n, w.f, r.Expansion, w.expansion)
+		}
+	}
+}
+
+func TestComputeTable1RowRejectsHopeless(t *testing.T) {
+	if _, err := ComputeTable1Row(3, 5); err == nil {
+		t.Error("hopeless pair accepted")
+	}
+	if _, err := ComputeTable1Row(0, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+func TestComputeTable1RowTrivialRegime(t *testing.T) {
+	row, err := ComputeTable1Row(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CompetitiveRatio != 1 || row.LowerBound != 1 || row.HasExpansion() {
+		t.Errorf("trivial row = %+v, want CR 1, lower 1, no expansion", row)
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"linesearch/internal/analysis"
+	"linesearch/internal/numeric"
+	"linesearch/internal/plot"
+	"linesearch/internal/table"
+	"linesearch/internal/trace"
+)
+
+func init() {
+	register("fig5left", Figure5Left)
+	register("fig5right", Figure5Right)
+	register("asymptotics", Asymptotics)
+}
+
+// Figure5Left regenerates the left plot of Figure 5: the competitive
+// ratio (2 + 2/n)^(1+1/n) (2/n)^(-1/n) + 1 of A(2f+1, f) as n ranges
+// over 3..20.
+func Figure5Left() (*Result, error) {
+	data := &trace.Dataset{
+		Name:    "fig5left",
+		Columns: []string{"n", "cr"},
+	}
+	var xs, ys []float64
+	for _, n := range numeric.Linspace(3, 20, 171) { // step 0.1 like the paper's smooth plot
+		cr, err := analysis.HalfGroupCR(n)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, n)
+		ys = append(ys, cr)
+		if err := data.AddRow(n, cr); err != nil {
+			return nil, err
+		}
+	}
+	chart, err := plot.Line(
+		[]plot.Series{{Name: "(2+2/n)^(1+1/n) (2/n)^(-1/n) + 1", X: xs, Y: ys}},
+		plot.Options{Title: "Figure 5 (left): CR of A(2f+1, f), n = 3..20", XLabel: "n", YLabel: "competitive ratio"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Spot values at integer odd n, matching Table 1 where applicable.
+	tb := table.New("n", "f", "CR of A(2f+1,f)")
+	for n := 3; n <= 19; n += 2 {
+		cr, err := analysis.UpperBoundCR(n, (n-1)/2)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", (n-1)/2), fmt.Sprintf("%.4f", cr))
+	}
+	return &Result{
+		ID:     "fig5left",
+		Title:  "Figure 5 (left): competitive ratio of the n = 2f+1 schedule",
+		Report: chart + "\nodd-n spot values:\n" + tb.Render(),
+		Data:   []*trace.Dataset{data},
+	}, nil
+}
+
+// Figure5Right regenerates the right plot of Figure 5: the asymptotic
+// competitive ratio (4/a)^(2/a) (4/a - 2)^(1-2/a) + 1 for a = n/f in
+// (1, 2).
+func Figure5Right() (*Result, error) {
+	data := &trace.Dataset{
+		Name:    "fig5right",
+		Columns: []string{"a", "cr"},
+	}
+	var xs, ys []float64
+	for _, a := range numeric.Linspace(1, 2, 101) {
+		cr, err := analysis.AsymptoticCR(a)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, a)
+		ys = append(ys, cr)
+		if err := data.AddRow(a, cr); err != nil {
+			return nil, err
+		}
+	}
+	chart, err := plot.Line(
+		[]plot.Series{{Name: "(4/a)^(2/a) (4/a-2)^(1-2/a) + 1", X: xs, Y: ys}},
+		plot.Options{Title: "Figure 5 (right): asymptotic CR of A(af, f), 1 < a < 2", XLabel: "a = n/f", YLabel: "competitive ratio"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	report := chart + fmt.Sprintf("\nendpoints: CR(a=1) = %.4f (doubling regime), CR(a=2) = %.4f (trivial regime limit)\n", ys[0], ys[len(ys)-1])
+	return &Result{
+		ID:     "fig5right",
+		Title:  "Figure 5 (right): asymptotic competitive ratio over a = n/f",
+		Report: report,
+		Data:   []*trace.Dataset{data},
+	}, nil
+}
+
+// Asymptotics is experiment E5: the sandwich
+//
+//	Theorem2(n) <= CR(A(2f+1, f)) <= 3 + 4 ln n / n
+//
+// with both sides converging to 3 — the paper's asymptotic optimality
+// claim for n = 2f+1.
+func Asymptotics() (*Result, error) {
+	tb := table.New("n", "lower (Thm 2)", "Corollary 2 approx", "exact CR", "upper (Cor 1)", "CR - 3")
+	data := &trace.Dataset{
+		Name:    "asymptotics",
+		Columns: []string{"n", "theorem2", "corollary2", "exact", "corollary1"},
+	}
+	var xs, lower, exact, upper []float64
+	for n := 3; n <= 100001; n = 2*n + 1 {
+		f := (n - 1) / 2
+		cr, err := analysis.UpperBoundCR(n, f)
+		if err != nil {
+			return nil, err
+		}
+		alpha, err := analysis.Theorem2Alpha(n)
+		if err != nil {
+			return nil, err
+		}
+		cor1, err := analysis.Corollary1Bound(float64(n))
+		if err != nil {
+			return nil, err
+		}
+		cor2, err := analysis.Corollary2Bound(float64(n))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.6f", alpha),
+			fmt.Sprintf("%.6f", cor2),
+			fmt.Sprintf("%.6f", cr),
+			fmt.Sprintf("%.6f", cor1),
+			fmt.Sprintf("%.2e", cr-3),
+		)
+		if err := data.AddRow(float64(n), alpha, cor2, cr, cor1); err != nil {
+			return nil, err
+		}
+		xs = append(xs, float64(n))
+		lower = append(lower, alpha)
+		exact = append(exact, cr)
+		upper = append(upper, cor1)
+	}
+	// Plot in log-n to show the convergence shape.
+	logx := make([]float64, len(xs))
+	for i, x := range xs {
+		logx[i] = math.Log10(x)
+	}
+	chart, err := plot.Line(
+		[]plot.Series{
+			{Name: "exact CR of A(2f+1, f)", X: logx, Y: exact},
+			{Name: "upper 3 + 4 ln n / n (Cor 1)", X: logx, Y: upper},
+			{Name: "lower alpha(n) (Thm 2)", X: logx, Y: lower},
+		},
+		plot.Options{Title: "Asymptotic sandwich for n = 2f+1", XLabel: "log10 n", YLabel: "competitive ratio"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "asymptotics",
+		Title:  "Corollary 1 / Theorem 2 sandwich: CR(A(2f+1, f)) -> 3",
+		Report: tb.Render() + "\n" + chart,
+		Data:   []*trace.Dataset{data},
+	}, nil
+}

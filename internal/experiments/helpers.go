@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"linesearch/internal/adversary"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+)
+
+// ladderGame builds the paper's algorithm A(n, f) and plays the
+// Theorem 2 adversary against it.
+func ladderGame(n, f int) (adversary.GameResult, error) {
+	plan, err := sim.FromStrategy(strategy.Proportional{}, n, f)
+	if err != nil {
+		return adversary.GameResult{}, err
+	}
+	return adversary.Play(plan)
+}

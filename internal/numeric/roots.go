@@ -1,0 +1,129 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxIterations bounds every iterative solver in this package. Bisection
+// on float64 needs at most ~1100 steps to reach machine precision from
+// any finite bracket, so 2000 is a generous budget.
+const maxIterations = 2000
+
+// Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi)
+// must have opposite (or zero) signs. The returned root satisfies
+// |hi-lo| <= tol or f(root) == 0.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, fmt.Errorf("numeric: Bisect endpoints evaluate to NaN (f(%g)=%g, f(%g)=%g)", lo, flo, hi, fhi)
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("numeric: Bisect endpoints do not bracket a root (f(%g)=%g, f(%g)=%g)", lo, flo, hi, fhi)
+	}
+	for i := 0; i < maxIterations; i++ {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi || hi-lo <= tol {
+			return mid, nil
+		}
+		fm := f(mid)
+		switch {
+		case fm == 0:
+			return mid, nil
+		case (fm > 0) == (fhi > 0):
+			hi, fhi = mid, fm
+		default:
+			lo, flo = mid, fm
+		}
+	}
+	return lo + (hi-lo)/2, ErrNoConvergence
+}
+
+// BracketUp expands the interval [lo, lo+step] geometrically to the
+// right until f changes sign, returning the bracketing interval. It is
+// used to bracket the Theorem-2 root, whose left endpoint (alpha -> 3+)
+// diverges to +infinity and whose value is eventually negative.
+func BracketUp(f func(float64) float64, lo, step float64) (a, b float64, err error) {
+	if step <= 0 {
+		return 0, 0, fmt.Errorf("numeric: BracketUp with non-positive step %g", step)
+	}
+	fa := f(lo)
+	a = lo
+	for i := 0; i < maxIterations; i++ {
+		b = a + step
+		fb := f(b)
+		if fb == 0 || (fa > 0) != (fb > 0) {
+			return a, b, nil
+		}
+		a, fa = b, fb
+		step *= 2
+	}
+	return 0, 0, fmt.Errorf("numeric: BracketUp found no sign change from %g: %w", lo, ErrNoConvergence)
+}
+
+// Newton refines a root of f starting from x0 using the analytic
+// derivative df. It falls back to returning an error rather than
+// diverging: steps that leave [lo, hi] are rejected.
+func Newton(f, df func(float64) float64, x0, lo, hi, tol float64) (float64, error) {
+	x := Clamp(x0, lo, hi)
+	for i := 0; i < maxIterations; i++ {
+		fx := f(x)
+		if math.Abs(fx) <= tol {
+			return x, nil
+		}
+		d := df(x)
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return 0, fmt.Errorf("numeric: Newton derivative unusable at %g", x)
+		}
+		next := x - fx/d
+		if next < lo || next > hi || math.IsNaN(next) {
+			// Bisection-style fallback keeps the iterate inside the bracket.
+			next = Clamp(next, lo, hi)
+			if next == x {
+				return x, ErrNoConvergence
+			}
+		}
+		if math.Abs(next-x) <= tol*math.Max(1, math.Abs(next)) {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrNoConvergence
+}
+
+// GoldenMinimize finds the minimizer of a strictly unimodal f over
+// [lo, hi] by golden-section search, to within tol of the true argmin.
+func GoldenMinimize(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxIterations; i++ {
+		if b-a <= tol {
+			return a + (b-a)/2, nil
+		}
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	return a + (b-a)/2, ErrNoConvergence
+}

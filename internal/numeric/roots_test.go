@@ -1,0 +1,168 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectFindsSimpleRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %.15g, want sqrt(2)", root)
+	}
+}
+
+func TestBisectExactEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x - 3 }
+	if root, err := Bisect(f, 3, 10, 1e-12); err != nil || root != 3 {
+		t.Errorf("root at lo: got %v, %v", root, err)
+	}
+	if root, err := Bisect(f, -10, 3, 1e-12); err != nil || root != 3 {
+		t.Errorf("root at hi: got %v, %v", root, err)
+	}
+}
+
+func TestBisectSwappedBounds(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x - 1 }, 5, -5, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !AlmostEqual(root, 1, 1e-10) {
+		t.Errorf("root = %v, want 1", root)
+	}
+}
+
+func TestBisectRejectsNonBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err == nil {
+		t.Error("expected error for non-bracketing interval")
+	}
+}
+
+func TestBisectRejectsNaNEndpoint(t *testing.T) {
+	f := func(x float64) float64 {
+		if x < 0 {
+			return math.NaN()
+		}
+		return x - 1
+	}
+	if _, err := Bisect(f, -1, 2, 1e-12); err == nil {
+		t.Error("expected error for NaN endpoint")
+	}
+}
+
+func TestBisectDecreasingFunction(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return 5 - x }, 0, 10, 1e-13)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !AlmostEqual(root, 5, 1e-10) {
+		t.Errorf("root = %v, want 5", root)
+	}
+}
+
+func TestBisectPropertyRandomLinearRoots(t *testing.T) {
+	f := func(rRaw float64) bool {
+		r := math.Mod(math.Abs(rRaw), 100)
+		if math.IsNaN(r) {
+			return true
+		}
+		g := func(x float64) float64 { return x - r }
+		root, err := Bisect(g, -1, 101, 1e-12)
+		return err == nil && AlmostEqual(root, r, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBracketUpFindsSignChange(t *testing.T) {
+	// Mimics the Theorem-2 function shape: decreasing through a root.
+	f := func(a float64) float64 { return 100 - a*a }
+	lo, hi, err := BracketUp(f, 0, 1)
+	if err != nil {
+		t.Fatalf("BracketUp: %v", err)
+	}
+	if !(f(lo) >= 0 && f(hi) <= 0) {
+		t.Errorf("bracket [%v, %v] does not straddle root", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("bracket [%v, %v] excludes the root 10", lo, hi)
+	}
+}
+
+func TestBracketUpRejectsBadStep(t *testing.T) {
+	if _, _, err := BracketUp(func(x float64) float64 { return x }, 0, 0); err == nil {
+		t.Error("expected error for zero step")
+	}
+}
+
+func TestBracketUpNoSignChange(t *testing.T) {
+	if _, _, err := BracketUp(func(x float64) float64 { return 1 }, 0, 1); err == nil {
+		t.Error("expected error when no sign change exists")
+	}
+}
+
+func TestNewtonConvergesQuadratically(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	df := func(x float64) float64 { return 3 * x * x }
+	root, err := Newton(f, df, 3, 0.1, 10, 1e-14)
+	if err != nil {
+		t.Fatalf("Newton: %v", err)
+	}
+	if !AlmostEqual(root, 2, 1e-12) {
+		t.Errorf("root = %.15g, want 2", root)
+	}
+}
+
+func TestNewtonRejectsZeroDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 } // no root; df(0)=0
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, -1, 1, 1e-12); err == nil {
+		t.Error("expected error for zero derivative")
+	}
+}
+
+func TestGoldenMinimizeParabola(t *testing.T) {
+	argmin, err := GoldenMinimize(func(x float64) float64 { return (x - 3.25) * (x - 3.25) }, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatalf("GoldenMinimize: %v", err)
+	}
+	if !AlmostEqual(argmin, 3.25, 1e-8) {
+		t.Errorf("argmin = %.12g, want 3.25", argmin)
+	}
+}
+
+func TestGoldenMinimizeSwappedBounds(t *testing.T) {
+	argmin, err := GoldenMinimize(func(x float64) float64 { return math.Abs(x - 1) }, 5, -5, 1e-10)
+	if err != nil {
+		t.Fatalf("GoldenMinimize: %v", err)
+	}
+	if !AlmostEqual(argmin, 1, 1e-8) {
+		t.Errorf("argmin = %.12g, want 1", argmin)
+	}
+}
+
+// TestGoldenMinimizeMatchesTheorem1Optimum checks the solver against the
+// paper's analytically optimal beta* = (4f+4)/n - 1 for F(beta) =
+// (beta+1)^e (beta-1)^(1-e) + 1 with e = (2f+2)/n.
+func TestGoldenMinimizeMatchesTheorem1Optimum(t *testing.T) {
+	cases := []struct{ n, f int }{{3, 1}, {4, 2}, {5, 2}, {5, 3}, {11, 5}, {41, 20}}
+	for _, c := range cases {
+		e := float64(2*c.f+2) / float64(c.n)
+		obj := func(beta float64) float64 {
+			return math.Pow(beta+1, e)*math.Pow(beta-1, 1-e) + 1
+		}
+		got, err := GoldenMinimize(obj, 1+1e-9, 50, 1e-10)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.n, c.f, err)
+		}
+		want := float64(4*c.f+4)/float64(c.n) - 1
+		if !AlmostEqual(got, want, 1e-6) {
+			t.Errorf("(%d,%d): argmin beta = %.9g, want %.9g", c.n, c.f, got, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package plot renders dependency-free ASCII charts: line charts for the
+// Figure 5 curves and space–time diagrams for the trajectory figures
+// (Figures 1–4, 6, 7). Output is plain text suitable for terminals and
+// EXPERIMENTS.md code blocks.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Options controls chart geometry and labelling.
+type Options struct {
+	// Width and Height are the plot area in characters. Defaults 72x20.
+	Width, Height int
+	// Title, XLabel and YLabel are optional annotations.
+	Title, XLabel, YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 72
+	}
+	if o.Height == 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Width < 8 || o.Height < 4 {
+		return fmt.Errorf("plot: area %dx%d too small (need >= 8x4)", o.Width, o.Height)
+	}
+	return nil
+}
+
+// Line renders the series as an ASCII line chart with a left y-axis, a
+// bottom x-axis and a legend mapping glyphs to series names.
+func Line(series []Series, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for i, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %d (%s) has %d x values and %d y values", i, s.Name, len(s.X), len(s.Y))
+		}
+		for j := range s.X {
+			if math.IsNaN(s.X[j]) || math.IsNaN(s.Y[j]) || math.IsInf(s.X[j], 0) || math.IsInf(s.Y[j], 0) {
+				return "", fmt.Errorf("plot: series %d (%s) has non-finite point at %d", i, s.Name, j)
+			}
+			xmin, xmax = math.Min(xmin, s.X[j]), math.Max(xmax, s.X[j])
+			ymin, ymax = math.Min(ymin, s.Y[j]), math.Max(ymax, s.Y[j])
+			total++
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("plot: all series empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := newGrid(opts.Width, opts.Height)
+	for i, s := range series {
+		m := markers[i%len(markers)]
+		for j := range s.X {
+			col := scale(s.X[j], xmin, xmax, opts.Width)
+			row := opts.Height - 1 - scale(s.Y[j], ymin, ymax, opts.Height)
+			grid.set(row, col, m)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelWidth := len(yLo)
+	if len(yHi) > labelWidth {
+		labelWidth = len(yHi)
+	}
+	for r := 0; r < opts.Height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelWidth, yHi)
+		case opts.Height - 1:
+			fmt.Fprintf(&b, "%*s |", labelWidth, yLo)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelWidth, "")
+		}
+		b.Write(grid.row(r))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelWidth, "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labelWidth, "", opts.Width-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", opts.XLabel, opts.YLabel)
+	}
+	for i, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[i%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// grid is a dense byte raster.
+type grid struct {
+	w, h  int
+	cells []byte
+}
+
+func newGrid(w, h int) *grid {
+	cells := make([]byte, w*h)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	return &grid{w: w, h: h, cells: cells}
+}
+
+func (g *grid) set(row, col int, b byte) {
+	if row < 0 || row >= g.h || col < 0 || col >= g.w {
+		return
+	}
+	g.cells[row*g.w+col] = b
+}
+
+func (g *grid) row(r int) []byte { return g.cells[r*g.w : (r+1)*g.w] }
+
+// scale maps v in [lo, hi] onto [0, cells-1].
+func scale(v, lo, hi float64, cells int) int {
+	frac := (v - lo) / (hi - lo)
+	idx := int(math.Round(frac * float64(cells-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= cells {
+		idx = cells - 1
+	}
+	return idx
+}
+
+// formatTick renders an axis endpoint compactly.
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && (a >= 1e5 || a < 1e-3):
+		return fmt.Sprintf("%.2e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

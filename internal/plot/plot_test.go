@@ -1,0 +1,189 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"linesearch/internal/geom"
+)
+
+func TestLineBasic(t *testing.T) {
+	s := Series{Name: "identity", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out, err := Line([]Series{s}, Options{Width: 20, Height: 10, Title: "demo", XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	for _, want := range []string{"demo", "identity", "*", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestLineIncreasingCurveOrientation(t *testing.T) {
+	// An increasing curve must place its marker in the top-right and
+	// bottom-left regions, never top-left.
+	s := Series{Name: "up", X: []float64{0, 10}, Y: []float64{0, 10}}
+	out, err := Line([]Series{s}, Options{Width: 21, Height: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(out, "\n")
+	top := rows[0]
+	bottom := rows[10]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max point missing from top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("min point missing from bottom row:\n%s", out)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Errorf("increasing curve renders decreasing:\n%s", out)
+	}
+}
+
+func TestLineMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}}
+	out, err := Line([]Series{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(nil, Options{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Line([]Series{{Name: "bad", X: []float64{1}, Y: nil}}, Options{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Line([]Series{{Name: "empty"}}, Options{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	nan := []float64{0.0}
+	nan[0] = nan[0] / nan[0] // NaN without importing math
+	if _, err := Line([]Series{{Name: "nan", X: nan, Y: nan}}, Options{}); err == nil {
+		t.Error("NaN point accepted")
+	}
+	if _, err := Line([]Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}, Options{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}
+	if _, err := Line([]Series{s}, Options{}); err != nil {
+		t.Fatalf("degenerate ranges should render: %v", err)
+	}
+}
+
+func TestSpaceTimeBasic(t *testing.T) {
+	zig := Path{
+		Name:   "robot 0",
+		Marker: '0',
+		Points: []geom.Point{{X: 0, T: 0}, {X: 1, T: 1}, {X: -2, T: 4}},
+	}
+	out, err := SpaceTime([]Path{zig}, Options{Width: 30, Height: 12, Title: "zig"})
+	if err != nil {
+		t.Fatalf("SpaceTime: %v", err)
+	}
+	for _, want := range []string{"zig", "robot 0", "0", "time t (upward)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpaceTimeConeOverlay(t *testing.T) {
+	cone := geom.MustCone(2)
+	paths := ConePaths(cone, 8)
+	if len(paths) != 2 {
+		t.Fatalf("got %d cone paths", len(paths))
+	}
+	out, err := SpaceTime(paths, Options{Width: 40, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("cone boundary not drawn:\n%s", out)
+	}
+	if strings.Count(out, "cone t =") != 2 {
+		t.Errorf("cone legend incomplete:\n%s", out)
+	}
+}
+
+func TestSpaceTimeErrors(t *testing.T) {
+	if _, err := SpaceTime(nil, Options{}); err == nil {
+		t.Error("no paths accepted")
+	}
+	if _, err := SpaceTime([]Path{{Name: "x", Points: []geom.Point{{X: 0, T: 0}}}}, Options{}); err == nil {
+		t.Error("zero marker accepted")
+	}
+	if _, err := SpaceTime([]Path{{Name: "x", Marker: 'x'}}, Options{}); err == nil {
+		t.Error("all-empty paths accepted")
+	}
+}
+
+func TestSpaceTimeSinglePoint(t *testing.T) {
+	p := Path{Name: "dot", Marker: '#', Points: []geom.Point{{X: 1, T: 1}}}
+	out, err := SpaceTime([]Path{p}, Options{Width: 10, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestTrajectoryPath(t *testing.T) {
+	segs := []geom.Segment{
+		{From: geom.Point{X: 0, T: 0}, To: geom.Point{X: 1, T: 1}},
+		{From: geom.Point{X: 1, T: 1}, To: geom.Point{X: -1, T: 3}},
+	}
+	p := TrajectoryPath("r", 'r', segs)
+	if len(p.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(p.Points))
+	}
+	if p.Points[0] != (geom.Point{X: 0, T: 0}) || p.Points[2] != (geom.Point{X: -1, T: 3}) {
+		t.Errorf("endpoints wrong: %v", p.Points)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{3.14159, "3.14"},
+		{12345, "12345"},
+		{1e6, "1.00e+06"},
+		{0.0001, "1.00e-04"},
+		{-250, "-250"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.v); got != tt.want {
+			t.Errorf("formatTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	if got := scale(-1, 0, 10, 11); got != 0 {
+		t.Errorf("scale below range = %d", got)
+	}
+	if got := scale(11, 0, 10, 11); got != 10 {
+		t.Errorf("scale above range = %d", got)
+	}
+	if got := scale(5, 0, 10, 11); got != 5 {
+		t.Errorf("scale mid = %d", got)
+	}
+}

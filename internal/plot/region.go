@@ -1,0 +1,68 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Region renders the set {(x, t) : member(x, t)} over the rectangle
+// [xmin, xmax] x [tmin, tmax] as a filled raster, position horizontal
+// and time growing upward. It draws the "tower" of Figure 4: the
+// space–time region where enough robots have already passed for the
+// target to be guaranteed found.
+func Region(member func(x, t float64) bool, xmin, xmax, tmin, tmax float64, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	if member == nil {
+		return "", fmt.Errorf("plot: nil membership function")
+	}
+	if !(xmax > xmin) || !(tmax > tmin) {
+		return "", fmt.Errorf("plot: empty region rectangle [%g, %g] x [%g, %g]", xmin, xmax, tmin, tmax)
+	}
+	for _, v := range []float64{xmin, xmax, tmin, tmax} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("plot: non-finite region bounds")
+		}
+	}
+
+	g := newGrid(opts.Width, opts.Height)
+	for row := 0; row < opts.Height; row++ {
+		// Row 0 is the latest time.
+		t := tmax - (tmax-tmin)*float64(row)/float64(opts.Height-1)
+		for col := 0; col < opts.Width; col++ {
+			x := xmin + (xmax-xmin)*float64(col)/float64(opts.Width-1)
+			if member(x, t) {
+				g.set(row, col, '#')
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	tLo, tHi := formatTick(tmin), formatTick(tmax)
+	labelWidth := len(tLo)
+	if len(tHi) > labelWidth {
+		labelWidth = len(tHi)
+	}
+	for r := 0; r < opts.Height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelWidth, tHi)
+		case opts.Height - 1:
+			fmt.Fprintf(&b, "%*s |", labelWidth, tLo)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelWidth, "")
+		}
+		b.Write(g.row(r))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelWidth, "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labelWidth, "", opts.Width-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
+	b.WriteString("horizontal: position x    vertical: time t (upward)    #: inside the region\n")
+	return b.String(), nil
+}

@@ -1,0 +1,70 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegionBasic(t *testing.T) {
+	// The upper half-plane above t = |x| is a simple cone-like region.
+	out, err := Region(func(x, tt float64) bool {
+		abs := x
+		if abs < 0 {
+			abs = -abs
+		}
+		return tt >= abs
+	}, -10, 10, 0, 10, Options{Width: 21, Height: 11, Title: "cone"})
+	if err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	if !strings.Contains(out, "cone") || !strings.Contains(out, "#") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Top row (latest time) must be fully inside: every plot cell is #.
+	top := lines[1]
+	if strings.Count(top, "#") != 21 {
+		t.Errorf("top row not fully covered:\n%s", out)
+	}
+	// Bottom row (t = 0) contains the single apex point.
+	bottom := lines[11]
+	if strings.Count(bottom, "#") != 1 {
+		t.Errorf("bottom row should contain exactly the apex:\n%s", out)
+	}
+}
+
+func TestRegionUpwardClosedShapeRendering(t *testing.T) {
+	// A region empty below t = 5 must have blank lower rows.
+	out, err := Region(func(x, tt float64) bool { return tt > 5 }, 0, 1, 0, 10, Options{Width: 10, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if strings.Contains(lines[9], "#") {
+		t.Errorf("row below threshold filled:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("row above threshold empty:\n%s", out)
+	}
+}
+
+func TestRegionErrors(t *testing.T) {
+	member := func(x, tt float64) bool { return true }
+	if _, err := Region(nil, 0, 1, 0, 1, Options{}); err == nil {
+		t.Error("nil membership accepted")
+	}
+	if _, err := Region(member, 1, 0, 0, 1, Options{}); err == nil {
+		t.Error("inverted x bounds accepted")
+	}
+	if _, err := Region(member, 0, 1, 1, 1, Options{}); err == nil {
+		t.Error("empty t range accepted")
+	}
+	nan := 0.0
+	nan /= nan
+	if _, err := Region(member, 0, 1, 0, nan, Options{}); err == nil {
+		t.Error("NaN bound accepted")
+	}
+	if _, err := Region(member, 0, 1, 0, 1, Options{Width: 3, Height: 2}); err == nil {
+		t.Error("tiny area accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"linesearch/internal/geom"
+)
+
+// Path is one polyline of a space–time diagram: a robot trajectory, a
+// cone boundary, or any other curve through (x, t) space.
+type Path struct {
+	Name   string
+	Marker byte
+	Points []geom.Point
+}
+
+// SpaceTime renders paths in the half-plane with position horizontal and
+// time growing upward (matching the paper's figures; the top row is the
+// latest time). Line segments between consecutive points are rastered
+// densely so diagonal unit-speed legs appear as continuous strokes.
+func SpaceTime(paths []Path, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("plot: no paths")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	tmin, tmax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for i, p := range paths {
+		if p.Marker == 0 {
+			return "", fmt.Errorf("plot: path %d (%s) has no marker", i, p.Name)
+		}
+		for _, pt := range p.Points {
+			if math.IsNaN(pt.X) || math.IsNaN(pt.T) {
+				return "", fmt.Errorf("plot: path %d (%s) has NaN point", i, p.Name)
+			}
+			xmin, xmax = math.Min(xmin, pt.X), math.Max(xmax, pt.X)
+			tmin, tmax = math.Min(tmin, pt.T), math.Max(tmax, pt.T)
+			total++
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("plot: all paths empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if tmax == tmin {
+		tmax = tmin + 1
+	}
+
+	g := newGrid(opts.Width, opts.Height)
+	// Later paths draw over earlier ones, so order cone boundaries first
+	// and trajectories last for legibility.
+	for _, p := range paths {
+		for j := 0; j+1 < len(p.Points); j++ {
+			drawSegment(g, p.Points[j], p.Points[j+1], xmin, xmax, tmin, tmax, opts, p.Marker)
+		}
+		if len(p.Points) == 1 {
+			pt := p.Points[0]
+			g.set(opts.Height-1-scale(pt.T, tmin, tmax, opts.Height), scale(pt.X, xmin, xmax, opts.Width), p.Marker)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	tLo, tHi := formatTick(tmin), formatTick(tmax)
+	labelWidth := len(tLo)
+	if len(tHi) > labelWidth {
+		labelWidth = len(tHi)
+	}
+	for r := 0; r < opts.Height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelWidth, tHi)
+		case opts.Height - 1:
+			fmt.Fprintf(&b, "%*s |", labelWidth, tLo)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelWidth, "")
+		}
+		b.Write(g.row(r))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelWidth, "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labelWidth, "", opts.Width-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
+	fmt.Fprintf(&b, "horizontal: position x    vertical: time t (upward)\n")
+	for _, p := range paths {
+		fmt.Fprintf(&b, "  %c %s\n", p.Marker, p.Name)
+	}
+	return b.String(), nil
+}
+
+// drawSegment rasters the segment between two space–time points by
+// dense parametric sampling (double the grid diagonal, so no gaps).
+func drawSegment(g *grid, a, b geom.Point, xmin, xmax, tmin, tmax float64, opts Options, marker byte) {
+	steps := 2 * (opts.Width + opts.Height)
+	for s := 0; s <= steps; s++ {
+		frac := float64(s) / float64(steps)
+		x := a.X + frac*(b.X-a.X)
+		t := a.T + frac*(b.T-a.T)
+		g.set(opts.Height-1-scale(t, tmin, tmax, opts.Height), scale(x, xmin, xmax, opts.Width), marker)
+	}
+}
+
+// TrajectoryPath converts a trajectory's corner points up to tmax into a
+// drawable path. Corners suffice: legs are straight in space–time.
+func TrajectoryPath(name string, marker byte, segs []geom.Segment) Path {
+	p := Path{Name: name, Marker: marker}
+	for i, s := range segs {
+		if i == 0 {
+			p.Points = append(p.Points, s.From)
+		}
+		p.Points = append(p.Points, s.To)
+	}
+	return p
+}
+
+// ConePaths returns the two boundary half-lines of C_beta up to time
+// tmax as drawable paths (marker '.').
+func ConePaths(cone geom.Cone, tmax float64) []Path {
+	xEdge := tmax / cone.Beta()
+	return []Path{
+		{
+			Name:   fmt.Sprintf("cone t = %+.3g x", cone.Beta()),
+			Marker: '.',
+			Points: []geom.Point{{X: 0, T: 0}, {X: xEdge, T: tmax}},
+		},
+		{
+			Name:   fmt.Sprintf("cone t = %+.3g x", -cone.Beta()),
+			Marker: '.',
+			Points: []geom.Point{{X: 0, T: 0}, {X: -xEdge, T: tmax}},
+		},
+	}
+}

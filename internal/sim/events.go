@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EventKind classifies timeline events.
+type EventKind int
+
+// Timeline event kinds.
+const (
+	// EventStart marks a robot leaving the origin (its first motion).
+	EventStart EventKind = iota + 1
+	// EventTurn marks a robot reversing direction (a trajectory corner).
+	EventTurn
+	// EventVisit marks any robot standing on the target position.
+	EventVisit
+	// EventDetect marks the first visit by a reliable robot: the search
+	// completes here.
+	EventDetect
+)
+
+// String returns a short label for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventTurn:
+		return "turn"
+	case EventVisit:
+		return "visit"
+	case EventDetect:
+		return "detect"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a search timeline.
+type Event struct {
+	T     float64
+	Robot int
+	Kind  EventKind
+	X     float64 // position of the event
+}
+
+// String formats the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-12.4f robot %-2d %-7s at x=%.4f", e.T, e.Robot, e.Kind, e.X)
+}
+
+// Timeline reconstructs the chronological event log of a search for a
+// target at x under a concrete fault assignment, up to time tmax:
+// starts, turns, target visits, and the detection event (if a reliable
+// robot reaches the target within tmax). len(faulty) must equal n.
+func (p *Plan) Timeline(x float64, faulty []bool, tmax float64) ([]Event, error) {
+	if len(faulty) != len(p.trajs) {
+		return nil, fmt.Errorf("sim: fault vector has %d entries for %d robots", len(faulty), len(p.trajs))
+	}
+	if tmax <= 0 {
+		return nil, fmt.Errorf("sim: tmax must be positive, got %g", tmax)
+	}
+
+	var events []Event
+	for i, tr := range p.trajs {
+		segs := tr.SegmentsUntil(tmax)
+		moved := false
+		for j, s := range segs {
+			if !moved && s.Displacement() != 0 {
+				events = append(events, Event{T: s.From.T, Robot: i, Kind: EventStart, X: s.From.X})
+				moved = true
+			}
+			// A corner is a junction where the direction changes.
+			if j > 0 && s.From.T <= tmax && isCorner(segs[j-1].Displacement(), s.Displacement()) {
+				events = append(events, Event{T: s.From.T, Robot: i, Kind: EventTurn, X: s.From.X})
+			}
+		}
+		for _, vt := range tr.VisitsUntil(x, tmax) {
+			events = append(events, Event{T: vt, Robot: i, Kind: EventVisit, X: x})
+		}
+	}
+
+	detect, err := p.DetectionTime(x, faulty)
+	if err != nil {
+		return nil, err
+	}
+	if !math.IsInf(detect, 1) && detect <= tmax {
+		// Identify the detecting robot: the earliest reliable visitor.
+		for _, v := range p.FirstVisits(x) {
+			if !faulty[v.Robot] {
+				events = append(events, Event{T: detect, Robot: v.Robot, Kind: EventDetect, X: x})
+				break
+			}
+		}
+	}
+
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].T != events[b].T {
+			return events[a].T < events[b].T
+		}
+		if events[a].Robot != events[b].Robot {
+			return events[a].Robot < events[b].Robot
+		}
+		return events[a].Kind < events[b].Kind
+	})
+	return events, nil
+}
+
+// isCorner reports whether consecutive displacements constitute a
+// direction reversal (ignoring waiting legs, which have displacement 0).
+func isCorner(prev, next float64) bool {
+	return prev*next < 0
+}

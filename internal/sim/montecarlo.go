@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"linesearch/internal/numeric"
+)
+
+// MCConfig configures a Monte-Carlo fault-injection run: targets are
+// drawn log-uniformly from [XMin, XMax] on a uniformly random side, and
+// an independent uniformly random set of exactly F robots is made
+// faulty in each trial.
+type MCConfig struct {
+	// Trials is the number of independent searches. Default 1000.
+	Trials int
+	// Seed makes the run reproducible. The zero seed is valid (and
+	// distinct from seed 1). Each trial derives its own generator from
+	// (Seed, trial index), so results are independent of Parallelism.
+	Seed int64
+	// XMin and XMax bound the target distance. Defaults 1 and 1e4.
+	XMin, XMax float64
+	// Parallelism is the number of worker goroutines. Default
+	// GOMAXPROCS. The result is deterministic regardless of the value.
+	Parallelism int
+}
+
+func (c MCConfig) withDefaults() MCConfig {
+	if c.Trials == 0 {
+		c.Trials = 1000
+	}
+	if c.XMin == 0 {
+		c.XMin = 1
+	}
+	if c.XMax == 0 {
+		c.XMax = 1e4
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c MCConfig) validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("sim: MCConfig.Trials must be positive, got %d", c.Trials)
+	}
+	if c.XMin < 1 || c.XMax <= c.XMin {
+		return fmt.Errorf("sim: MCConfig target range [%g, %g] invalid (need 1 <= XMin < XMax)", c.XMin, c.XMax)
+	}
+	if c.Parallelism < 1 {
+		return fmt.Errorf("sim: MCConfig.Parallelism must be >= 1, got %d", c.Parallelism)
+	}
+	return nil
+}
+
+// MCResult summarises a Monte-Carlo run. Ratios are detection time over
+// target distance under the sampled (not worst-case) fault sets.
+type MCResult struct {
+	Trials   int
+	Mean     float64
+	Min, Max float64
+	ratios   []float64 // sorted
+}
+
+// Quantile returns the q-th empirical quantile of the observed ratios,
+// for q in [0, 1].
+func (r MCResult) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("sim: quantile %g outside [0, 1]", q)
+	}
+	if len(r.ratios) == 0 {
+		return 0, fmt.Errorf("sim: empty Monte-Carlo result")
+	}
+	idx := int(q * float64(len(r.ratios)-1))
+	return r.ratios[idx], nil
+}
+
+// trialSeedMix decorrelates per-trial generators derived from the same
+// base seed (the 64-bit golden-ratio constant of splitmix64,
+// reinterpreted as a signed value).
+const trialSeedMix = int64(-7046029254386353131) // 0x9E3779B97F4A7C15
+
+// MonteCarlo runs cfg.Trials random searches against the plan and
+// reports the distribution of detection ratios. Trials execute on a
+// worker pool; every trial seeds its own generator from (Seed, index),
+// so the result depends only on the configuration. Random faults are
+// typically far kinder than the adversarial assignment: the mean ratio
+// sits well below the worst-case competitive ratio.
+func (p *Plan) MonteCarlo(cfg MCConfig) (MCResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return MCResult{}, err
+	}
+
+	ratios := make([]float64, cfg.Trials)
+	workers := cfg.Parallelism
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (cfg.Trials + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.Trials {
+			hi = cfg.Trials
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ratio, err := p.trial(cfg, i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				ratios[i] = ratio
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return MCResult{}, firstErr
+	}
+
+	res := MCResult{
+		Trials: cfg.Trials,
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+		ratios: ratios,
+	}
+	var sum numeric.KahanSum
+	for _, ratio := range ratios {
+		sum.Add(ratio)
+		res.Min = math.Min(res.Min, ratio)
+		res.Max = math.Max(res.Max, ratio)
+	}
+	sort.Float64s(res.ratios)
+	res.Mean = sum.Value() / float64(cfg.Trials)
+	return res, nil
+}
+
+// trial runs one random search with a generator derived from the base
+// seed and the trial index.
+func (p *Plan) trial(cfg MCConfig, idx int) (float64, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(idx+1) * trialSeedMix)))
+	logMin, logMax := math.Log(cfg.XMin), math.Log(cfg.XMax)
+	x := math.Exp(logMin + rng.Float64()*(logMax-logMin))
+	if rng.Intn(2) == 0 {
+		x = -x
+	}
+	faulty := make([]bool, p.N())
+	for _, i := range rng.Perm(p.N())[:p.f] {
+		faulty[i] = true
+	}
+	detect, err := p.DetectionTime(x, faulty)
+	if err != nil {
+		return 0, err
+	}
+	return detect / math.Abs(x), nil
+}

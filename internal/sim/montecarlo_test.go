@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/numeric"
+	"linesearch/internal/strategy"
+)
+
+func TestMonteCarloDeterministicBySeed(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 5, 2)
+	a, err := p.MonteCarlo(MCConfig{Trials: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.MonteCarlo(MCConfig{Trials: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Max != b.Max || a.Min != b.Min {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+	c, err := p.MonteCarlo(MCConfig{Trials: 500, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == c.Mean {
+		t.Error("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestMonteCarloBoundedByWorstCase(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 3, 1)
+	cr, err := p.EmpiricalCR(CROptions{XMax: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := p.MonteCarlo(MCConfig{Trials: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Max > cr.Sup+1e-9 {
+		t.Errorf("random-fault max ratio %v exceeds worst-case CR %v", mc.Max, cr.Sup)
+	}
+	if mc.Min < 1-1e-9 {
+		t.Errorf("ratio %v below 1 (faster than distance?)", mc.Min)
+	}
+	if !(mc.Mean < cr.Sup) {
+		t.Errorf("mean %v not below worst case %v", mc.Mean, cr.Sup)
+	}
+	if mc.Trials != 3000 {
+		t.Errorf("Trials = %d", mc.Trials)
+	}
+}
+
+func TestMonteCarloRandomFaultsKinderThanAdversary(t *testing.T) {
+	// With 5 robots / 2 faults, a random pair of faulty robots rarely
+	// coincides with the two earliest visitors, so the mean ratio should
+	// sit strictly below the worst case by a visible margin.
+	p := mustPlan(t, strategy.Proportional{}, 5, 2)
+	cr, err := p.EmpiricalCR(CROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := p.MonteCarlo(MCConfig{Trials: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Sup-mc.Mean < 0.3 {
+		t.Errorf("mean %v suspiciously close to worst case %v", mc.Mean, cr.Sup)
+	}
+}
+
+func TestMonteCarloQuantiles(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 3, 1)
+	mc, err := p.MonteCarlo(MCConfig{Trials: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, err := mc.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q50, err := mc.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q100, err := mc.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q0 <= q50 && q50 <= q100) {
+		t.Errorf("quantiles not monotone: %v, %v, %v", q0, q50, q100)
+	}
+	if !numeric.AlmostEqual(q0, mc.Min, 1e-12) || !numeric.AlmostEqual(q100, mc.Max, 1e-12) {
+		t.Errorf("extreme quantiles %v, %v don't match min %v / max %v", q0, q100, mc.Min, mc.Max)
+	}
+	if _, err := mc.Quantile(1.5); err == nil {
+		t.Error("quantile out of range accepted")
+	}
+	var empty MCResult
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Error("quantile of empty result accepted")
+	}
+}
+
+// TestMonteCarloDeterministicAcrossParallelism: the per-trial seeding
+// makes the run independent of the worker count.
+func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 5, 2)
+	var base MCResult
+	for i, workers := range []int{1, 2, 7, 32} {
+		res, err := p.MonteCarlo(MCConfig{Trials: 400, Seed: 3, Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res.Mean != base.Mean || res.Min != base.Min || res.Max != base.Max {
+			t.Errorf("workers=%d: %+v differs from serial %+v", workers, res, base)
+		}
+	}
+}
+
+func TestMonteCarloConfigValidation(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 3, 1)
+	if _, err := p.MonteCarlo(MCConfig{Trials: -5}); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := p.MonteCarlo(MCConfig{XMin: 5, XMax: 2}); err == nil {
+		t.Error("inverted target range accepted")
+	}
+	if _, err := p.MonteCarlo(MCConfig{XMin: 0.2, XMax: 10}); err == nil {
+		t.Error("XMin below 1 accepted")
+	}
+}
+
+func TestMonteCarloZeroFaults(t *testing.T) {
+	p := mustPlan(t, strategy.TwoGroup{}, 4, 1)
+	mc, err := p.MonteCarlo(MCConfig{Trials: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-group with f+1 = 2 robots per side: every target is found at
+	// time exactly |x| whenever at least one reliable robot sweeps its
+	// side; the max ratio over random single faults must stay 1.
+	if !numeric.AlmostEqual(mc.Max, 1, 1e-9) {
+		t.Errorf("two-group max ratio %v, want 1", mc.Max)
+	}
+	if math.IsNaN(mc.Mean) {
+		t.Error("mean is NaN")
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim evaluates search plans exactly: given the trajectories of
+// n robots and a fault budget f, it computes per-target visit times, the
+// worst-case search time (the visit of the (f+1)-st distinct robot —
+// the adversary makes the first f visitors faulty), empirical
+// competitive ratios, full event timelines, and Monte-Carlo statistics
+// under random fault assignments.
+//
+// Nothing here is time-stepped; every quantity comes from the
+// trajectories' closed-form visit queries, so results are exact up to
+// float64 rounding.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"linesearch/internal/strategy"
+	"linesearch/internal/trajectory"
+)
+
+// Plan is an evaluated search plan: one trajectory per robot plus the
+// fault budget the plan must tolerate.
+type Plan struct {
+	trajs []*trajectory.Trajectory
+	f     int
+}
+
+// NewPlan wraps trajectories and a fault budget. It requires at least
+// one robot, 0 <= f < n, and valid trajectories.
+func NewPlan(trajs []*trajectory.Trajectory, f int) (*Plan, error) {
+	n := len(trajs)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: plan needs at least one robot")
+	}
+	if f < 0 || f >= n {
+		return nil, fmt.Errorf("sim: fault budget f=%d out of range [0, %d)", f, n)
+	}
+	for i, tr := range trajs {
+		if tr == nil {
+			return nil, fmt.Errorf("sim: robot %d has nil trajectory", i)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: robot %d: %w", i, err)
+		}
+	}
+	return &Plan{trajs: append([]*trajectory.Trajectory(nil), trajs...), f: f}, nil
+}
+
+// FromStrategy builds the plan produced by st for (n, f).
+func FromStrategy(st strategy.Strategy, n, f int) (*Plan, error) {
+	trajs, err := st.Build(n, f)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building %s(%d, %d): %w", st.Name(), n, f, err)
+	}
+	return NewPlan(trajs, f)
+}
+
+// N returns the number of robots.
+func (p *Plan) N() int { return len(p.trajs) }
+
+// F returns the fault budget.
+func (p *Plan) F() int { return p.f }
+
+// Trajectories returns the robots' trajectories, indexed by robot.
+func (p *Plan) Trajectories() []*trajectory.Trajectory {
+	return append([]*trajectory.Trajectory(nil), p.trajs...)
+}
+
+// Visit records one robot's first arrival at a queried position.
+type Visit struct {
+	Robot int
+	T     float64
+}
+
+// FirstVisits returns, for each robot that ever visits x, its first
+// visit, sorted by time (ties broken by robot index for determinism).
+func (p *Plan) FirstVisits(x float64) []Visit {
+	visits := make([]Visit, 0, len(p.trajs))
+	for i, tr := range p.trajs {
+		if t, ok := tr.FirstVisit(x); ok {
+			visits = append(visits, Visit{Robot: i, T: t})
+		}
+	}
+	sort.Slice(visits, func(a, b int) bool {
+		if visits[a].T != visits[b].T {
+			return visits[a].T < visits[b].T
+		}
+		return visits[a].Robot < visits[b].Robot
+	})
+	return visits
+}
+
+// KthDistinctVisit returns the time of the k-th distinct robot's first
+// visit to x (+Inf if fewer than k robots ever visit). SearchTime(x) is
+// KthDistinctVisit(x, f+1).
+func (p *Plan) KthDistinctVisit(x float64, k int) (float64, error) {
+	if k < 1 || k > len(p.trajs) {
+		return 0, fmt.Errorf("sim: visitor index k=%d out of range [1, %d]", k, len(p.trajs))
+	}
+	visits := p.FirstVisits(x)
+	if len(visits) < k {
+		return math.Inf(1), nil
+	}
+	return visits[k-1].T, nil
+}
+
+// WithFaultBudget returns a plan over the same trajectories with a
+// different fault budget, for evaluating the k-th-visitor objective of
+// a fixed schedule at several k = f+1.
+func (p *Plan) WithFaultBudget(f int) (*Plan, error) {
+	return NewPlan(p.trajs, f)
+}
+
+// SearchTime returns the worst-case detection time for a target at x:
+// the first visit by the (f+1)-st distinct robot, since an adversary
+// corrupts the f earliest visitors. It returns +Inf if fewer than f+1
+// robots ever visit x — the plan cannot guarantee detection there.
+func (p *Plan) SearchTime(x float64) float64 {
+	visits := p.FirstVisits(x)
+	if len(visits) <= p.f {
+		return math.Inf(1)
+	}
+	return visits[p.f].T
+}
+
+// WorstFaultSet returns the adversary's optimal fault assignment against
+// a target at x: the f distinct robots that visit x earliest. The
+// returned slice has length n with exactly min(f, visitors) entries set.
+func (p *Plan) WorstFaultSet(x float64) []bool {
+	faulty := make([]bool, len(p.trajs))
+	visits := p.FirstVisits(x)
+	for i := 0; i < len(visits) && i < p.f; i++ {
+		faulty[visits[i].Robot] = true
+	}
+	return faulty
+}
+
+// DetectionTime returns the time a target at x is found given a concrete
+// fault assignment: the earliest first visit by a reliable robot, or
+// +Inf if no reliable robot ever visits x. len(faulty) must equal n.
+func (p *Plan) DetectionTime(x float64, faulty []bool) (float64, error) {
+	if len(faulty) != len(p.trajs) {
+		return 0, fmt.Errorf("sim: fault vector has %d entries for %d robots", len(faulty), len(p.trajs))
+	}
+	for _, v := range p.FirstVisits(x) {
+		if !faulty[v.Robot] {
+			return v.T, nil
+		}
+	}
+	return math.Inf(1), nil
+}
+
+// Ratio returns SearchTime(x) / |x|, the quantity whose supremum over
+// |x| >= 1 is the competitive ratio. x must be nonzero.
+func (p *Plan) Ratio(x float64) (float64, error) {
+	if x == 0 {
+		return 0, fmt.Errorf("sim: ratio undefined at the origin")
+	}
+	return p.SearchTime(x) / math.Abs(x), nil
+}

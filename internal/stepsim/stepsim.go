@@ -1,0 +1,178 @@
+// Package stepsim is a deliberately independent, discrete-time
+// implementation of the search model, used to cross-validate the exact
+// closed-form engine in internal/sim.
+//
+// Where internal/sim answers "when does robot i first visit x" by
+// solving each motion segment analytically, stepsim takes only the
+// polyline corner points of each robot, samples positions on a fixed
+// time grid with its own interpolation code, and detects target visits
+// by sign changes between consecutive samples. Agreement between the
+// two engines (within O(dt)) rules out systematic errors in the visit
+// solver, the distinct-visitor ordering, and the (f+1)-st-visit rule.
+package stepsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"linesearch/internal/geom"
+)
+
+// Robot is one searcher, specified purely by the corner points of its
+// space–time polyline (time strictly increasing, speed at most 1).
+// Beyond the final corner the robot halts.
+type Robot struct {
+	corners []geom.Point
+}
+
+// NewRobot validates and wraps a corner polyline.
+func NewRobot(corners []geom.Point) (*Robot, error) {
+	if len(corners) < 2 {
+		return nil, fmt.Errorf("stepsim: robot needs at least 2 corners, got %d", len(corners))
+	}
+	for i := 1; i < len(corners); i++ {
+		dt := corners[i].T - corners[i-1].T
+		dx := math.Abs(corners[i].X - corners[i-1].X)
+		if dt < 0 {
+			return nil, fmt.Errorf("stepsim: corner %d runs backward in time", i)
+		}
+		if dx > dt*(1+1e-9)+1e-9 {
+			return nil, fmt.Errorf("stepsim: corner %d exceeds unit speed", i)
+		}
+	}
+	return &Robot{corners: append([]geom.Point(nil), corners...)}, nil
+}
+
+// positionAt interpolates the polyline at time t (its own code path,
+// independent of internal/trajectory). Before the first corner the
+// robot sits at the first corner's position; after the last, at the
+// last.
+func (r *Robot) positionAt(t float64) float64 {
+	cs := r.corners
+	if t <= cs[0].T {
+		return cs[0].X
+	}
+	last := cs[len(cs)-1]
+	if t >= last.T {
+		return last.X
+	}
+	// Binary search for the segment containing t.
+	idx := sort.Search(len(cs), func(i int) bool { return cs[i].T >= t })
+	a, b := cs[idx-1], cs[idx]
+	if b.T == a.T {
+		return b.X
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.X + frac*(b.X-a.X)
+}
+
+// World steps a set of robots on a shared clock.
+type World struct {
+	robots []*Robot
+	dt     float64
+}
+
+// NewWorld creates a stepping world with time resolution dt.
+func NewWorld(robots []*Robot, dt float64) (*World, error) {
+	if len(robots) == 0 {
+		return nil, fmt.Errorf("stepsim: world needs at least one robot")
+	}
+	if !(dt > 0) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("stepsim: invalid time step %g", dt)
+	}
+	for i, r := range robots {
+		if r == nil {
+			return nil, fmt.Errorf("stepsim: robot %d is nil", i)
+		}
+	}
+	return &World{robots: append([]*Robot(nil), robots...), dt: dt}, nil
+}
+
+// Visit records a robot's first detected arrival at the target.
+type Visit struct {
+	Robot int
+	T     float64
+}
+
+// FirstVisits steps the world until tmax and returns, per robot that
+// crosses x, the (interpolated) time of its first crossing, sorted by
+// time. A crossing is a sign change of position-minus-target between
+// consecutive ticks, or an exact hit on a tick.
+func (w *World) FirstVisits(x, tmax float64) []Visit {
+	visits := make([]Visit, 0, len(w.robots))
+	for i, r := range w.robots {
+		if t, ok := w.firstCrossing(r, x, tmax); ok {
+			visits = append(visits, Visit{Robot: i, T: t})
+		}
+	}
+	sort.Slice(visits, func(a, b int) bool {
+		if visits[a].T != visits[b].T {
+			return visits[a].T < visits[b].T
+		}
+		return visits[a].Robot < visits[b].Robot
+	})
+	return visits
+}
+
+// firstCrossing scans the robot's sampled motion for the first crossing
+// of x. Sample times are the grid ticks merged with the robot's corner
+// times: sampling exactly at corners makes tangent sweeps (a turn just
+// past x between two ticks) detectable, since between consecutive
+// samples the motion is then strictly linear.
+func (w *World) firstCrossing(r *Robot, x, tmax float64) (float64, bool) {
+	prevT := 0.0
+	prevD := r.positionAt(0) - x
+	if prevD == 0 {
+		return 0, true
+	}
+	corner := 0
+	for _, c := range r.corners {
+		if c.T <= 0 {
+			corner++
+		}
+	}
+	tick := 1
+	for {
+		// Next sample: the earlier of the next grid tick and the next
+		// corner time.
+		t := float64(tick) * w.dt
+		fromCorner := false
+		if corner < len(r.corners) && r.corners[corner].T < t {
+			t = r.corners[corner].T
+			fromCorner = true
+		}
+		if t > tmax {
+			return 0, false
+		}
+		d := r.positionAt(t) - x
+		if d == 0 {
+			return t, true
+		}
+		if (prevD < 0) != (d < 0) {
+			// Linear interpolation of the crossing instant.
+			frac := prevD / (prevD - d)
+			return prevT + frac*(t-prevT), true
+		}
+		prevT, prevD = t, d
+		if fromCorner {
+			corner++
+		} else {
+			tick++
+		}
+	}
+}
+
+// SearchTime returns the worst-case detection time for a target at x
+// with fault budget f: the (f+1)-st distinct robot's first crossing.
+// +Inf means fewer than f+1 robots crossed x by tmax.
+func (w *World) SearchTime(x float64, f int, tmax float64) (float64, error) {
+	if f < 0 || f >= len(w.robots) {
+		return 0, fmt.Errorf("stepsim: fault budget %d out of range [0, %d)", f, len(w.robots))
+	}
+	visits := w.FirstVisits(x, tmax)
+	if len(visits) <= f {
+		return math.Inf(1), nil
+	}
+	return visits[f].T, nil
+}

@@ -1,0 +1,214 @@
+package stepsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"linesearch/internal/geom"
+	"linesearch/internal/numeric"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+	"linesearch/internal/trace"
+)
+
+func TestNewRobotValidation(t *testing.T) {
+	if _, err := NewRobot([]geom.Point{{X: 0, T: 0}}); err == nil {
+		t.Error("single corner accepted")
+	}
+	if _, err := NewRobot([]geom.Point{{X: 0, T: 1}, {X: 1, T: 0}}); err == nil {
+		t.Error("time reversal accepted")
+	}
+	if _, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 5, T: 1}}); err == nil {
+		t.Error("superluminal segment accepted")
+	}
+	if _, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 1, T: 1}}); err != nil {
+		t.Errorf("valid robot rejected: %v", err)
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	r, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 1, T: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(nil, 0.1); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := NewWorld([]*Robot{r}, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := NewWorld([]*Robot{nil}, 0.1); err == nil {
+		t.Error("nil robot accepted")
+	}
+}
+
+func TestPositionInterpolation(t *testing.T) {
+	r, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 0, T: 2}, {X: 2, T: 4}, {X: -1, T: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t, want float64
+	}{
+		{-1, 0}, {0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 2}, {5.5, 0.5}, {7, -1}, {100, -1},
+	}
+	for _, tt := range tests {
+		if got := r.positionAt(tt.t); !numeric.Close(got, tt.want) {
+			t.Errorf("positionAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestFirstVisitsSimplePlan(t *testing.T) {
+	// Two robots sweep opposite directions from the origin.
+	right, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 100, T: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: -100, T: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld([]*Robot{right, left}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := w.FirstVisits(7, 100)
+	if len(visits) != 1 || visits[0].Robot != 0 || !numeric.AlmostEqual(visits[0].T, 7, 1e-9) {
+		t.Errorf("visits = %v", visits)
+	}
+	st, err := w.SearchTime(7, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(st, 7, 1e-9) {
+		t.Errorf("SearchTime = %v", st)
+	}
+	// With one fault the lone visitor is insufficient.
+	st, err = w.SearchTime(7, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(st, 1) {
+		t.Errorf("SearchTime with f=1 = %v, want +Inf", st)
+	}
+}
+
+func TestSearchTimeValidation(t *testing.T) {
+	r, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 1, T: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld([]*Robot{r}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SearchTime(0.5, 1, 10); err == nil {
+		t.Error("fault budget >= robots accepted")
+	}
+	if _, err := w.SearchTime(0.5, -1, 10); err == nil {
+		t.Error("negative fault budget accepted")
+	}
+}
+
+func TestTangentSweepDetected(t *testing.T) {
+	// The robot turns at x = 1.0005, between grid ticks (dt = 0.1); the
+	// target x = 1 is crossed only within that narrow excursion. Corner
+	// sampling must catch it.
+	r, err := NewRobot([]geom.Point{{X: 0, T: 0}, {X: 1.0005, T: 1.0005}, {X: 0, T: 2.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld([]*Robot{r}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := w.FirstVisits(1, 10)
+	if len(visits) != 1 {
+		t.Fatalf("tangent sweep missed: %v", visits)
+	}
+	if !numeric.AlmostEqual(visits[0].T, 1, 1e-9) {
+		t.Errorf("crossing at t = %v, want 1", visits[0].T)
+	}
+}
+
+// worldFromStrategy converts a strategy's trajectories (truncated at
+// tmax) into stepsim robots via their corner polylines.
+func worldFromStrategy(t *testing.T, st strategy.Strategy, n, f int, tmax, dt float64) (*World, *sim.Plan) {
+	t.Helper()
+	plan, err := sim.FromStrategy(st, n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*Robot, 0, n)
+	for _, tr := range plan.Trajectories() {
+		corners := trace.CornerPoints(tr, tmax)
+		r, err := NewRobot(corners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		robots = append(robots, r)
+	}
+	w, err := NewWorld(robots, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, plan
+}
+
+// TestCrossValidationAgainstExactEngine is the point of this package:
+// the independent stepping engine must agree with the closed-form
+// engine on worst-case search times for the paper's algorithm, the
+// baseline, and random targets.
+func TestCrossValidationAgainstExactEngine(t *testing.T) {
+	cases := []struct {
+		st   strategy.Strategy
+		n, f int
+	}{
+		{strategy.Proportional{}, 3, 1},
+		{strategy.Proportional{}, 5, 2},
+		{strategy.Proportional{}, 5, 3},
+		{strategy.Doubling{}, 3, 1},
+	}
+	const tmax = 1e4
+	rng := rand.New(rand.NewSource(2016))
+	for _, c := range cases {
+		w, plan := worldFromStrategy(t, c.st, c.n, c.f, 4*tmax, 0.25)
+		for trial := 0; trial < 60; trial++ {
+			x := 1 + rng.Float64()*200
+			if rng.Intn(2) == 0 {
+				x = -x
+			}
+			want := plan.SearchTime(x)
+			got, err := w.SearchTime(x, c.f, 4*tmax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqual(got, want, 1e-6) {
+				t.Errorf("%s(%d,%d) x=%v: stepsim %v, exact %v", c.st.Name(), c.n, c.f, x, got, want)
+			}
+		}
+	}
+}
+
+// TestCrossValidationFirstVisitOrder: both engines must agree on the
+// order in which distinct robots reach the target.
+func TestCrossValidationFirstVisitOrder(t *testing.T) {
+	w, plan := worldFromStrategy(t, strategy.Proportional{}, 5, 2, 1e4, 0.25)
+	for _, x := range []float64{1.5, -2.25, 17, -33.3, 250} {
+		exact := plan.FirstVisits(x)
+		stepped := w.FirstVisits(x, 1e4)
+		if len(exact) != len(stepped) {
+			t.Fatalf("x=%v: %d vs %d visitors", x, len(exact), len(stepped))
+		}
+		for i := range exact {
+			if exact[i].Robot != stepped[i].Robot {
+				t.Errorf("x=%v: visitor %d is robot %d (exact) vs %d (stepped)", x, i, exact[i].Robot, stepped[i].Robot)
+			}
+			if !numeric.AlmostEqual(exact[i].T, stepped[i].T, 1e-6) {
+				t.Errorf("x=%v: visit %d at %v (exact) vs %v (stepped)", x, i, exact[i].T, stepped[i].T)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/numeric"
+	"linesearch/internal/trajectory"
+)
+
+func TestRegistryNamesUniqueAndSorted(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 3 {
+		t.Fatalf("registry has %d strategies, want >= 3", len(reg))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, s := range reg {
+		if s.Name() == "" || s.Description() == "" {
+			t.Errorf("strategy %T has empty name or description", s)
+		}
+		if seen[s.Name()] {
+			t.Errorf("duplicate strategy name %q", s.Name())
+		}
+		seen[s.Name()] = true
+		if s.Name() < prev {
+			t.Errorf("registry not sorted: %q after %q", s.Name(), prev)
+		}
+		prev = s.Name()
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, name := range []string{"proportional", "twogroup", "doubling"} {
+		s, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := Parse("nonsense"); err == nil {
+		t.Error("Parse(nonsense) succeeded")
+	}
+}
+
+func TestParseCone(t *testing.T) {
+	s, err := Parse("cone:2.5")
+	if err != nil {
+		t.Fatalf("Parse(cone:2.5): %v", err)
+	}
+	c, ok := s.(Cone)
+	if !ok || c.Beta != 2.5 {
+		t.Errorf("Parse(cone:2.5) = %#v", s)
+	}
+	if _, err := Parse("cone:abc"); err == nil {
+		t.Error("Parse(cone:abc) succeeded")
+	}
+	if _, err := Parse("cone:1"); err == nil {
+		t.Error("Parse(cone:1) succeeded (beta must exceed 1)")
+	}
+}
+
+func TestForPair(t *testing.T) {
+	s, err := ForPair(4, 1)
+	if err != nil || s.Name() != "twogroup" {
+		t.Errorf("ForPair(4,1) = %v, %v; want twogroup", s, err)
+	}
+	s, err = ForPair(3, 1)
+	if err != nil || s.Name() != "proportional" {
+		t.Errorf("ForPair(3,1) = %v, %v; want proportional", s, err)
+	}
+	if _, err := ForPair(2, 2); err == nil {
+		t.Error("ForPair(2,2) succeeded for a hopeless pair")
+	}
+}
+
+func TestProportionalBuild(t *testing.T) {
+	trajs, err := Proportional{}.Build(5, 3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(trajs) != 5 {
+		t.Fatalf("got %d trajectories, want 5", len(trajs))
+	}
+	for i, tr := range trajs {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trajectory %d: %v", i, err)
+		}
+	}
+	cr, ok := Proportional{}.AnalyticCR(5, 3)
+	if !ok || !numeric.AlmostEqual(cr, 6.76, 5e-3) {
+		t.Errorf("AnalyticCR(5,3) = %v, %v; want ~6.76", cr, ok)
+	}
+}
+
+func TestProportionalRejectsWrongRegime(t *testing.T) {
+	if _, err := (Proportional{}).Build(6, 1); err == nil {
+		t.Error("Build(6,1) succeeded in the trivial regime")
+	}
+	if _, ok := (Proportional{}).AnalyticCR(6, 1); ok {
+		t.Error("AnalyticCR(6,1) claimed a proportional closed form")
+	}
+}
+
+func TestConeStrategy(t *testing.T) {
+	c := Cone{Beta: 2}
+	if c.Name() != "cone:2" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	trajs, err := c.Build(3, 1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(trajs) != 3 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	cr, ok := c.AnalyticCR(3, 1)
+	if !ok {
+		t.Fatal("AnalyticCR not available")
+	}
+	// Lemma 5 at beta=2, n=3, f=1: 3^(4/3) * 1^(-1/3) + 1.
+	want := math.Pow(3, 4.0/3) + 1
+	if !numeric.AlmostEqual(cr, want, 1e-12) {
+		t.Errorf("AnalyticCR = %v, want %v", cr, want)
+	}
+}
+
+func TestTwoGroupBuild(t *testing.T) {
+	trajs, err := TwoGroup{}.Build(6, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var right, left int
+	for _, tr := range trajs {
+		ray, ok := tr.TailOf().(*trajectory.Ray)
+		if !ok {
+			t.Fatal("two-group trajectory is not a ray")
+		}
+		switch ray.Dir() {
+		case trajectory.Right:
+			right++
+		case trajectory.Left:
+			left++
+		}
+	}
+	if right < 3 || left < 3 {
+		t.Errorf("groups %d right / %d left, want >= f+1 = 3 each", right, left)
+	}
+	cr, ok := TwoGroup{}.AnalyticCR(6, 2)
+	if !ok || cr != 1 {
+		t.Errorf("AnalyticCR(6,2) = %v, %v; want 1, true", cr, ok)
+	}
+}
+
+func TestTwoGroupOddN(t *testing.T) {
+	trajs, err := TwoGroup{}.Build(7, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var left int
+	for _, tr := range trajs {
+		if tr.TailOf().(*trajectory.Ray).Dir() == trajectory.Left {
+			left++
+		}
+	}
+	if left < 3 || 7-left < 3 {
+		t.Errorf("odd split %d/%d leaves a side under f+1", 7-left, left)
+	}
+}
+
+func TestTwoGroupRejectsProportionalRegime(t *testing.T) {
+	if _, err := (TwoGroup{}).Build(3, 1); err == nil {
+		t.Error("Build(3,1) succeeded with n < 2f+2")
+	}
+	if _, ok := (TwoGroup{}).AnalyticCR(3, 1); ok {
+		t.Error("AnalyticCR(3,1) claimed a two-group closed form")
+	}
+}
+
+func TestDoublingBuild(t *testing.T) {
+	trajs, err := Doubling{}.Build(3, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(trajs) != 3 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	// All robots share the same motion.
+	for _, tt := range []float64{0, 1, 5, 20} {
+		p0, err := trajs[0].PositionAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < 3; i++ {
+			pi, err := trajs[i].PositionAt(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pi != p0 {
+				t.Errorf("robot %d at t=%v: %v, robot 0: %v", i, tt, pi, p0)
+			}
+		}
+	}
+	cr, ok := Doubling{}.AnalyticCR(3, 2)
+	if !ok || cr != 9 {
+		t.Errorf("AnalyticCR(3,2) = %v, %v; want 9, true", cr, ok)
+	}
+}
+
+func TestDoublingTurningPoints(t *testing.T) {
+	trajs, err := Doubling{}.Build(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, ok := trajs[0].TailOf().(*trajectory.ZigZag)
+	if !ok {
+		t.Fatal("doubling tail is not a zig-zag")
+	}
+	want := []float64{1, -2, 4, -8, 16}
+	for k, w := range want {
+		if got := tail.TurningPoint(k).X; !numeric.Close(got, w) {
+			t.Errorf("turning %d = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestDoublingRejectsBadPairs(t *testing.T) {
+	if _, err := (Doubling{}).Build(0, 0); err == nil {
+		t.Error("Build(0,0) succeeded")
+	}
+	if _, err := (Doubling{}).Build(2, 2); err == nil {
+		t.Error("Build(2,2) succeeded with f >= n")
+	}
+	if _, ok := (Doubling{}).AnalyticCR(2, 2); ok {
+		t.Error("AnalyticCR(2,2) claimed a closed form")
+	}
+}

@@ -1,0 +1,107 @@
+package strategy
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"linesearch/internal/numeric"
+	"linesearch/internal/trajectory"
+)
+
+func TestUniformConeBuild(t *testing.T) {
+	u := UniformCone{Beta: 5.0 / 3}
+	trajs, err := u.Build(3, 1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(trajs) != 3 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	for i, tr := range trajs {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trajectory %d: %v", i, err)
+		}
+	}
+}
+
+func TestUniformConeName(t *testing.T) {
+	u := UniformCone{Beta: 2}
+	if u.Name() != "uniform:2" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	if u.Description() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestUniformConeValidation(t *testing.T) {
+	if _, err := (UniformCone{Beta: 1}).Build(3, 1); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+	if _, err := (UniformCone{Beta: 2}).Build(6, 1); err == nil {
+		t.Error("trivial-regime pair accepted")
+	}
+	if _, ok := (UniformCone{Beta: 2}).AnalyticCR(3, 1); ok {
+		t.Error("uniform spacing claimed a closed form")
+	}
+}
+
+func TestParseUniform(t *testing.T) {
+	s, err := Parse("uniform:1.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := s.(UniformCone)
+	if !ok || u.Beta != 1.8 {
+		t.Errorf("Parse(uniform:1.8) = %#v", s)
+	}
+	if _, err := Parse("uniform:0.8"); err == nil {
+		t.Error("uniform beta <= 1 accepted")
+	}
+	if _, err := Parse("uniform:zz"); err == nil {
+		t.Error("unparsable uniform beta accepted")
+	}
+}
+
+// TestUniformTurningPointsAreUniform: the designated turning points in
+// the first expansion period are arithmetically spaced (that's the
+// ablation), so consecutive merged gaps are equal in absolute terms —
+// unlike the proportional schedule's constant ratio.
+func TestUniformTurningPointsAreUniform(t *testing.T) {
+	const beta = 5.0 / 3 // kappa = 4, period = 16
+	u := UniformCone{Beta: beta}
+	trajs, err := u.Build(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect each robot's first positive turning point >= 1.
+	var firsts []float64
+	for _, tr := range trajs {
+		tail := tr.TailOf().(*trajectory.ZigZag)
+		for k := 0; ; k++ {
+			tp := tail.TurningPoint(k)
+			if tp.X >= 1-1e-12 {
+				firsts = append(firsts, tp.X)
+				break
+			}
+			if k > 10 {
+				t.Fatal("no positive turning point found")
+			}
+		}
+	}
+	sort.Float64s(firsts)
+	want := []float64{1, 6, 11} // 1 + i*(16-1)/3
+	for i, w := range want {
+		if !numeric.AlmostEqual(firsts[i], w, 1e-9) {
+			t.Errorf("designated point %d = %v, want %v", i, firsts[i], w)
+		}
+	}
+	// Gaps equal in absolute terms, not in ratio.
+	if g1, g2 := firsts[1]-firsts[0], firsts[2]-firsts[1]; !numeric.AlmostEqual(g1, g2, 1e-9) {
+		t.Errorf("gaps %v, %v not uniform", g1, g2)
+	}
+	if r1, r2 := firsts[1]/firsts[0], firsts[2]/firsts[1]; math.Abs(r1-r2) < 1e-9 {
+		t.Error("gaps unexpectedly geometric — ablation broken")
+	}
+}

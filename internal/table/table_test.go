@@ -1,0 +1,76 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("n", "f", "ratio")
+	tb.AddRow("2", "1", "9")
+	tb.AddRow("41", "20", "3.24")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All lines must have equal width.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Errorf("line %d width %d != header width %d\n%s", i, len(lines[i]), len(lines[0]), out)
+		}
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("no separator row:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "3.24") {
+		t.Errorf("missing cell:\n%s", out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := New("a", "b", "c")
+	tb.AddRow("1")
+	out := tb.Render()
+	if !strings.Contains(out, "1") {
+		t.Errorf("missing cell:\n%s", out)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestAddRowPanicsOnTooManyCells(t *testing.T) {
+	tb := New("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row did not panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("n", "cr")
+	tb.AddRowf([]string{"%d", "%.2f"}, 3, 5.2333)
+	out := tb.Render()
+	if !strings.Contains(out, "5.23") {
+		t.Errorf("formatted cell missing:\n%s", out)
+	}
+	// Missing verbs fall back to %v.
+	tb2 := New("a", "b")
+	tb2.AddRowf([]string{"%d"}, 1, "x")
+	if !strings.Contains(tb2.Render(), "x") {
+		t.Error("fallback verb failed")
+	}
+}
+
+func TestRenderPanicsWithoutColumns(t *testing.T) {
+	tb := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty table did not panic")
+		}
+	}()
+	tb.Render()
+}

@@ -1,0 +1,227 @@
+// Package trajectory implements the motion model of the paper: a robot
+// trajectory is a finite prefix of motion legs (waiting and unit-speed
+// moves) followed by an optional infinite tail — either a zig-zag inside
+// a cone C_beta (Definition 1) or a one-way ray (the two-group sweep for
+// n >= 2f+2).
+//
+// All queries are exact (closed-form) rather than time-stepped: a
+// trajectory answers "where are you at time t" and "when do you first
+// visit x" without discretisation error beyond float64 rounding.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"linesearch/internal/geom"
+)
+
+// ErrNeverVisited is a sentinel used by callers that want to distinguish
+// "never visits x" from other failures.
+var ErrNeverVisited = errors.New("trajectory: position never visited")
+
+// contiguityTol absorbs rounding when checking that consecutive legs and
+// the tail anchor meet exactly.
+const contiguityTol = 1e-9
+
+// maxTailSegments bounds tail enumeration as a guard against runaway
+// loops on malformed queries; geometric growth means real queries need
+// only O(log |x|) segments.
+const maxTailSegments = 100000
+
+// Tail is an infinite continuation of a trajectory. Implementations are
+// ZigZag (cone-bounded search) and Ray (one-way sweep).
+type Tail interface {
+	// Anchor returns the space–time point where the tail begins.
+	Anchor() geom.Point
+	// PositionAt returns the position at time t >= Anchor().T.
+	PositionAt(t float64) (float64, error)
+	// FirstVisit returns the earliest time >= Anchor().T at which the
+	// tail stands on x. ok is false if the tail never visits x.
+	FirstVisit(x float64) (t float64, ok bool)
+	// VisitsUntil returns every visit of x at time <= tmax, ascending.
+	VisitsUntil(x, tmax float64) []float64
+	// SegmentsUntil returns the tail's motion segments with start time
+	// <= tmax, in order. Used for plotting and validation.
+	SegmentsUntil(tmax float64) []geom.Segment
+	// Validate checks the tail's internal consistency.
+	Validate() error
+}
+
+// Trajectory is the full motion plan of one robot: contiguous finite
+// legs followed by an optional infinite tail anchored at the last leg's
+// endpoint. The zero value is invalid; use New.
+type Trajectory struct {
+	legs []geom.Segment
+	tail Tail
+}
+
+// New builds a trajectory from legs and an optional tail (nil for a
+// finite trajectory, in which case the robot halts forever at the final
+// leg's endpoint). The legs must be contiguous, kinematically valid and
+// start at time >= 0; a non-nil tail must be anchored at the end of the
+// last leg (or constitute the entire trajectory if legs is empty).
+func New(legs []geom.Segment, tail Tail) (*Trajectory, error) {
+	tr := &Trajectory{legs: append([]geom.Segment(nil), legs...), tail: tail}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Must is New for statically known inputs; it panics on error.
+func Must(legs []geom.Segment, tail Tail) *Trajectory {
+	tr, err := New(legs, tail)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Validate checks the trajectory's kinematic and structural invariants.
+func (tr *Trajectory) Validate() error {
+	if len(tr.legs) == 0 && tr.tail == nil {
+		return errors.New("trajectory: empty (no legs, no tail)")
+	}
+	for i, leg := range tr.legs {
+		if err := leg.Validate(); err != nil {
+			return fmt.Errorf("leg %d: %w", i, err)
+		}
+		if i == 0 {
+			if leg.From.T < 0 {
+				return fmt.Errorf("leg 0 starts at negative time %g", leg.From.T)
+			}
+			continue
+		}
+		prev := tr.legs[i-1].To
+		if math.Abs(prev.X-leg.From.X) > contiguityTol || math.Abs(prev.T-leg.From.T) > contiguityTol {
+			return fmt.Errorf("leg %d start %v does not continue leg %d end %v", i, leg.From, i-1, prev)
+		}
+	}
+	if tr.tail != nil {
+		if err := tr.tail.Validate(); err != nil {
+			return fmt.Errorf("tail: %w", err)
+		}
+		a := tr.tail.Anchor()
+		var end geom.Point
+		if len(tr.legs) > 0 {
+			end = tr.legs[len(tr.legs)-1].To
+		} else {
+			end = a // tail-only trajectory anchors itself
+		}
+		if math.Abs(a.X-end.X) > contiguityTol || math.Abs(a.T-end.T) > contiguityTol {
+			return fmt.Errorf("tail anchor %v does not continue final leg end %v", a, end)
+		}
+		if a.T < 0 {
+			return fmt.Errorf("tail anchors at negative time %g", a.T)
+		}
+	}
+	return nil
+}
+
+// Start returns the trajectory's initial space–time point.
+func (tr *Trajectory) Start() geom.Point {
+	if len(tr.legs) > 0 {
+		return tr.legs[0].From
+	}
+	return tr.tail.Anchor()
+}
+
+// Legs returns a copy of the finite prefix legs.
+func (tr *Trajectory) Legs() []geom.Segment {
+	return append([]geom.Segment(nil), tr.legs...)
+}
+
+// TailOf returns the trajectory's infinite tail, or nil for a finite
+// trajectory.
+func (tr *Trajectory) TailOf() Tail { return tr.tail }
+
+// PositionAt returns the robot's position at time t. For t before the
+// trajectory's start an error is returned; for a finite trajectory and
+// t beyond the final leg, the robot is considered halted at its final
+// position.
+func (tr *Trajectory) PositionAt(t float64) (float64, error) {
+	start := tr.Start()
+	if t < start.T {
+		return 0, fmt.Errorf("trajectory: time %g precedes start %g", t, start.T)
+	}
+	if len(tr.legs) > 0 && t <= tr.legs[len(tr.legs)-1].To.T {
+		// Binary search for the first leg ending at or after t.
+		i := sort.Search(len(tr.legs), func(i int) bool { return tr.legs[i].To.T >= t })
+		return tr.legs[i].PositionAt(t)
+	}
+	if tr.tail != nil {
+		return tr.tail.PositionAt(t)
+	}
+	return tr.legs[len(tr.legs)-1].To.X, nil
+}
+
+// FirstVisit returns the earliest time the robot stands on position x,
+// with ok reporting whether such a time exists.
+func (tr *Trajectory) FirstVisit(x float64) (float64, bool) {
+	for _, leg := range tr.legs {
+		if vs := leg.VisitTimes(x); len(vs) > 0 {
+			return vs[0], true
+		}
+	}
+	if tr.tail != nil {
+		return tr.tail.FirstVisit(x)
+	}
+	return 0, false
+}
+
+// VisitsUntil returns every time <= tmax at which the robot stands on x,
+// in ascending order. Contact instants shared by two adjacent legs (a
+// turning point at x) are reported once.
+func (tr *Trajectory) VisitsUntil(x, tmax float64) []float64 {
+	var out []float64
+	for _, leg := range tr.legs {
+		if leg.From.T > tmax {
+			break
+		}
+		for _, v := range leg.VisitTimes(x) {
+			if v <= tmax {
+				out = append(out, v)
+			}
+		}
+	}
+	if tr.tail != nil {
+		out = append(out, tr.tail.VisitsUntil(x, tmax)...)
+	}
+	return dedupeAscending(out)
+}
+
+// SegmentsUntil returns the trajectory's motion segments with start time
+// <= tmax: the finite legs followed by tail segments.
+func (tr *Trajectory) SegmentsUntil(tmax float64) []geom.Segment {
+	var out []geom.Segment
+	for _, leg := range tr.legs {
+		if leg.From.T > tmax {
+			return out
+		}
+		out = append(out, leg)
+	}
+	if tr.tail != nil {
+		out = append(out, tr.tail.SegmentsUntil(tmax)...)
+	}
+	return out
+}
+
+// dedupeAscending sorts ts and collapses values closer than
+// contiguityTol, which arise when a visit falls exactly on a junction
+// between two legs.
+func dedupeAscending(ts []float64) []float64 {
+	if len(ts) < 2 {
+		return ts
+	}
+	sort.Float64s(ts)
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t-out[len(out)-1] > contiguityTol {
+			out = append(out, t)
+		}
+	}
+	return out
+}

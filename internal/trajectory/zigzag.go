@@ -1,0 +1,170 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+
+	"linesearch/internal/geom"
+)
+
+// ZigZag is the infinite cone-bounded search tail of Definition 1: a
+// robot anchored at a boundary point of C_beta crosses the cone at unit
+// speed, reversing direction on each wall. By Lemma 1 its turning points
+// are x_k = x0 * (-kappa)^k with kappa = (beta+1)/(beta-1).
+type ZigZag struct {
+	cone   geom.Cone
+	anchor geom.Point
+}
+
+var _ Tail = (*ZigZag)(nil)
+
+// NewZigZag returns a zig-zag tail in cone anchored at the given
+// boundary point. The anchor must lie on the cone boundary (within
+// rounding) at a nonzero position: the apex is a fixed point of the
+// turning map and admits no motion.
+func NewZigZag(cone geom.Cone, anchor geom.Point) (*ZigZag, error) {
+	if anchor.X == 0 {
+		return nil, fmt.Errorf("trajectory: zig-zag cannot anchor at the cone apex %v", anchor)
+	}
+	if !cone.OnBoundary(anchor, 1e-9) {
+		return nil, fmt.Errorf("trajectory: zig-zag anchor %v not on boundary of C_%g", anchor, cone.Beta())
+	}
+	// Snap the anchor time exactly onto the boundary so downstream
+	// closed forms see a consistent state.
+	anchor.T = cone.BoundaryTime(anchor.X)
+	return &ZigZag{cone: cone, anchor: anchor}, nil
+}
+
+// MustZigZag is NewZigZag for statically known inputs; panics on error.
+func MustZigZag(cone geom.Cone, anchor geom.Point) *ZigZag {
+	z, err := NewZigZag(cone, anchor)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// Anchor implements Tail.
+func (z *ZigZag) Anchor() geom.Point { return z.anchor }
+
+// Cone returns the confining cone.
+func (z *ZigZag) Cone() geom.Cone { return z.cone }
+
+// Validate implements Tail.
+func (z *ZigZag) Validate() error {
+	if z.anchor.X == 0 || !z.cone.OnBoundary(z.anchor, 1e-9) {
+		return fmt.Errorf("trajectory: invalid zig-zag anchor %v for C_%g", z.anchor, z.cone.Beta())
+	}
+	return nil
+}
+
+// TurningPoint returns the k-th turning point of the tail (k = 0 is the
+// anchor itself). Negative k extends the zig-zag backward in time, which
+// is how Definition 4 derives the start-up turning points tau'_i.
+func (z *ZigZag) TurningPoint(k int) geom.Point {
+	kappa := z.cone.ExpansionFactor()
+	mag := math.Abs(z.anchor.X) * math.Pow(kappa, float64(k))
+	x := mag
+	// Sign alternates each turn; even k keeps the anchor's side.
+	if k%2 != 0 {
+		x = -mag
+	}
+	if z.anchor.X < 0 {
+		x = -x
+	}
+	return geom.Point{X: x, T: z.cone.BoundaryTime(x)}
+}
+
+// segment returns the k-th motion segment, from TurningPoint(k) to
+// TurningPoint(k+1).
+func (z *ZigZag) segment(k int) geom.Segment {
+	return geom.Segment{From: z.TurningPoint(k), To: z.TurningPoint(k + 1)}
+}
+
+// PositionAt implements Tail.
+func (z *ZigZag) PositionAt(t float64) (float64, error) {
+	if t < z.anchor.T {
+		return 0, fmt.Errorf("trajectory: time %g precedes zig-zag anchor %g", t, z.anchor.T)
+	}
+	k, err := z.segmentIndexAt(t)
+	if err != nil {
+		return 0, err
+	}
+	return z.segment(k).PositionAt(t)
+}
+
+// segmentIndexAt finds the segment whose time span contains t >= anchor
+// time. Turning times grow geometrically (t_k = kappa^k * t_0), so a
+// logarithm gives a near-exact starting guess; a short walk absorbs
+// rounding at the edges. Segments are contiguous in time, so the first k
+// with t <= segment(k).To.T is the answer.
+func (z *ZigZag) segmentIndexAt(t float64) (int, error) {
+	t0 := z.anchor.T
+	kappa := z.cone.ExpansionFactor()
+	k := 0
+	if t > t0 && t0 > 0 {
+		k = int(math.Log(t/t0)/math.Log(kappa)) - 1
+		if k < 0 {
+			k = 0
+		}
+	}
+	for k > 0 && z.segment(k).From.T > t {
+		k--
+	}
+	for i := 0; i < maxTailSegments; i++ {
+		if t <= z.segment(k).To.T {
+			return k, nil
+		}
+		k++
+	}
+	return 0, fmt.Errorf("trajectory: zig-zag segment not found for t=%g", t)
+}
+
+// FirstVisit implements Tail. The first segment whose swept interval
+// contains x yields the visit; segments sweep geometrically growing
+// intervals so the scan terminates in O(log |x/x0|) steps.
+func (z *ZigZag) FirstVisit(x float64) (float64, bool) {
+	for k := 0; k < maxTailSegments; k++ {
+		s := z.segment(k)
+		if vs := s.VisitTimes(x); len(vs) > 0 {
+			return vs[0], true
+		}
+		if math.Min(math.Abs(s.From.X), math.Abs(s.To.X)) > math.Abs(x) {
+			// Both endpoints are already beyond |x| on both sides; every
+			// later segment sweeps a superset interval, so if x were
+			// coverable it would have been covered.
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// VisitsUntil implements Tail.
+func (z *ZigZag) VisitsUntil(x, tmax float64) []float64 {
+	var out []float64
+	for k := 0; k < maxTailSegments; k++ {
+		s := z.segment(k)
+		if s.From.T > tmax {
+			break
+		}
+		for _, v := range s.VisitTimes(x) {
+			if v <= tmax {
+				out = append(out, v)
+			}
+		}
+	}
+	return dedupeAscending(out)
+}
+
+// SegmentsUntil implements Tail.
+func (z *ZigZag) SegmentsUntil(tmax float64) []geom.Segment {
+	var out []geom.Segment
+	for k := 0; k < maxTailSegments; k++ {
+		s := z.segment(k)
+		if s.From.T > tmax {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

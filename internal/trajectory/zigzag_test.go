@@ -1,0 +1,251 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linesearch/internal/geom"
+	"linesearch/internal/numeric"
+)
+
+// doubling returns the classic single-robot doubling strategy: a zig-zag
+// in C_3 (kappa = 2) anchored at (1, 3).
+func doubling() *ZigZag {
+	cone := geom.MustCone(3)
+	return MustZigZag(cone, cone.BoundaryPoint(1))
+}
+
+func TestNewZigZagValidation(t *testing.T) {
+	cone := geom.MustCone(2)
+	if _, err := NewZigZag(cone, geom.Point{X: 0, T: 0}); err == nil {
+		t.Error("anchor at apex accepted")
+	}
+	if _, err := NewZigZag(cone, geom.Point{X: 1, T: 5}); err == nil {
+		t.Error("anchor off boundary accepted")
+	}
+	z, err := NewZigZag(cone, geom.Point{X: -3, T: 6})
+	if err != nil {
+		t.Fatalf("valid anchor rejected: %v", err)
+	}
+	if z.Anchor() != (geom.Point{X: -3, T: 6}) {
+		t.Errorf("anchor = %v", z.Anchor())
+	}
+}
+
+func TestTurningPointsMatchLemma1(t *testing.T) {
+	z := doubling()
+	want := []geom.Point{
+		{X: 1, T: 3}, {X: -2, T: 6}, {X: 4, T: 12}, {X: -8, T: 24}, {X: 16, T: 48},
+	}
+	for k, w := range want {
+		got := z.TurningPoint(k)
+		if !numeric.Close(got.X, w.X) || !numeric.Close(got.T, w.T) {
+			t.Errorf("TurningPoint(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestTurningPointsNegativeAnchor(t *testing.T) {
+	cone := geom.MustCone(3)
+	z := MustZigZag(cone, cone.BoundaryPoint(-1))
+	want := []float64{-1, 2, -4, 8}
+	for k, w := range want {
+		if got := z.TurningPoint(k).X; !numeric.Close(got, w) {
+			t.Errorf("TurningPoint(%d).X = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestTurningPointBackwardExtension(t *testing.T) {
+	z := doubling()
+	want := []struct {
+		k int
+		x float64
+	}{
+		{-1, -0.5}, {-2, 0.25}, {-3, -0.125},
+	}
+	for _, tt := range want {
+		got := z.TurningPoint(tt.k)
+		if !numeric.Close(got.X, tt.x) {
+			t.Errorf("TurningPoint(%d).X = %v, want %v", tt.k, got.X, tt.x)
+		}
+		if !numeric.Close(got.T, 3*math.Abs(tt.x)) {
+			t.Errorf("TurningPoint(%d).T = %v, want boundary time %v", tt.k, got.T, 3*math.Abs(tt.x))
+		}
+	}
+}
+
+func TestZigZagPositionAt(t *testing.T) {
+	z := doubling()
+	tests := []struct {
+		t, want float64
+	}{
+		{3, 1},   // anchor
+		{4, 0},   // heading left
+		{6, -2},  // first turn
+		{9, 1},   // heading right
+		{12, 4},  // second turn
+		{24, -8}, // third turn
+		{36, 4},  // inside fourth sweep
+		{48, 16}, // fourth turn
+	}
+	for _, tt := range tests {
+		got, err := z.PositionAt(tt.t)
+		if err != nil {
+			t.Fatalf("PositionAt(%v): %v", tt.t, err)
+		}
+		if !numeric.Close(got, tt.want) {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if _, err := z.PositionAt(2.9); err == nil {
+		t.Error("expected error before anchor time")
+	}
+}
+
+func TestZigZagPositionAtLargeTime(t *testing.T) {
+	z := doubling()
+	// t = 3 * 2^40: exactly the 40th turning time; position must be
+	// +-2^40 and on the cone boundary.
+	tt := 3 * math.Pow(2, 40)
+	got, err := z.PositionAt(tt)
+	if err != nil {
+		t.Fatalf("PositionAt: %v", err)
+	}
+	if !numeric.AlmostEqual(math.Abs(got), math.Pow(2, 40), 1e-9) {
+		t.Errorf("PositionAt(%g) = %g, want |x| = 2^40", tt, got)
+	}
+}
+
+func TestZigZagStaysInCone(t *testing.T) {
+	f := func(betaRaw, tRaw float64) bool {
+		if math.IsNaN(betaRaw) || math.IsNaN(tRaw) {
+			return true
+		}
+		beta := 1.05 + math.Abs(math.Mod(betaRaw, 5))
+		cone := geom.MustCone(beta)
+		z := MustZigZag(cone, cone.BoundaryPoint(1))
+		tt := z.Anchor().T + math.Abs(math.Mod(tRaw, 1e6))
+		x, err := z.PositionAt(tt)
+		if err != nil {
+			return false
+		}
+		return cone.Contains(geom.Point{X: x, T: tt}, 1e-6*math.Max(1, tt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagUnitSpeedContinuity(t *testing.T) {
+	z := doubling()
+	f := func(t1Raw, dtRaw float64) bool {
+		if math.IsNaN(t1Raw) || math.IsNaN(dtRaw) {
+			return true
+		}
+		t1 := 3 + math.Abs(math.Mod(t1Raw, 1e4))
+		dt := math.Abs(math.Mod(dtRaw, 10))
+		p1, err1 := z.PositionAt(t1)
+		p2, err2 := z.PositionAt(t1 + dt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p2-p1) <= dt+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagFirstVisit(t *testing.T) {
+	z := doubling()
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{1, 3},     // the anchor itself
+		{0, 4},     // crossed on the first sweep
+		{-1, 5},    // first sweep
+		{-2, 6},    // first turn
+		{0.5, 3.5}, // first sweep, heading left: from (1,3), dist 0.5
+		{3, 11},    // second sweep
+		{4, 12},    // second turn
+		{-5, 21},   // third sweep: from (4,12) heading left, dist 9
+		{10, 42},   // fourth sweep: from (-8,24), dist 18
+	}
+	for _, tt := range tests {
+		got, ok := z.FirstVisit(tt.x)
+		if !ok {
+			t.Fatalf("FirstVisit(%v): not found", tt.x)
+		}
+		if !numeric.Close(got, tt.want) {
+			t.Errorf("FirstVisit(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestZigZagFirstVisitAlwaysExists(t *testing.T) {
+	f := func(xRaw float64) bool {
+		if math.IsNaN(xRaw) {
+			return true
+		}
+		x := math.Mod(xRaw, 1e6)
+		z := doubling()
+		tt, ok := z.FirstVisit(x)
+		if !ok {
+			return false
+		}
+		pos, err := z.PositionAt(tt)
+		return err == nil && numeric.AlmostEqual(pos, x, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagVisitsUntil(t *testing.T) {
+	z := doubling()
+	got := z.VisitsUntil(1, 40)
+	want := []float64{3, 9, 15, 33}
+	if len(got) != len(want) {
+		t.Fatalf("VisitsUntil(1, 40) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !numeric.Close(got[i], want[i]) {
+			t.Errorf("visit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestZigZagVisitsAreAscending(t *testing.T) {
+	z := doubling()
+	vs := z.VisitsUntil(-1, 1e5)
+	if len(vs) < 3 {
+		t.Fatalf("expected several visits, got %v", vs)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i] <= vs[i-1] {
+			t.Errorf("visits not strictly ascending: %v", vs)
+		}
+	}
+}
+
+func TestZigZagSegmentsUntil(t *testing.T) {
+	z := doubling()
+	segs := z.SegmentsUntil(50)
+	if len(segs) != 5 { // starts at t=3,6,12,24,48
+		t.Fatalf("got %d segments, want 5", len(segs))
+	}
+	for i, s := range segs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("segment %d invalid: %v", i, err)
+		}
+		if i > 0 && segs[i-1].To != s.From {
+			t.Errorf("segment %d not contiguous with predecessor", i)
+		}
+		if s.Speed() != 1 {
+			t.Errorf("segment %d speed = %v, want 1", i, s.Speed())
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package linesearch is the public API of this repository: parallel
+// search on an infinite line by n unit-speed robots of which up to f are
+// faulty (they follow their trajectories but never detect the target),
+// after "Search on a Line with Faulty Robots" (Czyzowicz, Kranakis,
+// Krizanc, Narayanan, Opatrny — PODC 2016).
+//
+// A Searcher wraps a concrete search plan. The recommended plan for a
+// pair (n, f) is the paper's algorithm: the trivial two-group sweep when
+// n >= 2f+2 (competitive ratio 1), and the proportional schedule
+// algorithm A(n, f) when f < n < 2f+2, whose competitive ratio
+//
+//	((4f+4)/n)^((2f+2)/n) * ((4f+4)/n - 2)^(1-(2f+2)/n) + 1
+//
+// is optimal for n = f+1 (where it equals 9) and asymptotically optimal
+// for n = 2f+1 (where it approaches 3).
+//
+// Quick start:
+//
+//	s, err := linesearch.New(3, 1)   // 3 robots, at most 1 faulty
+//	t := s.SearchTime(7.5)           // worst-case detection time for a target at x = 7.5
+//	b, err := linesearch.Bounds(3, 1) // closed-form upper/lower bounds
+package linesearch
+
+import (
+	"fmt"
+	"math"
+
+	"linesearch/internal/adversary"
+	"linesearch/internal/analysis"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+)
+
+// Searcher is an evaluatable search plan for n robots with up to f
+// faults. Create one with New or NewWithStrategy. A Searcher is
+// immutable and safe for concurrent use.
+type Searcher struct {
+	n, f        int
+	minDistance float64
+	st          strategy.Strategy
+	plan        *sim.Plan
+}
+
+// New returns the paper's recommended searcher for (n, f): the two-group
+// sweep when n >= 2f+2, the proportional schedule algorithm A(n, f) when
+// f < n < 2f+2. It returns an error when n <= f, where no algorithm can
+// guarantee detection.
+func New(n, f int) (*Searcher, error) {
+	st, err := strategy.ForPair(n, f)
+	if err != nil {
+		return nil, err
+	}
+	return newSearcher(st, n, f)
+}
+
+// NewWithStrategy returns a searcher using a named strategy:
+// "proportional" (the paper's A(n, f)), "twogroup", "doubling", or
+// "cone:<beta>" for a proportional schedule at an explicit cone slope.
+func NewWithStrategy(name string, n, f int) (*Searcher, error) {
+	st, err := strategy.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return newSearcher(st, n, f)
+}
+
+func newSearcher(st strategy.Strategy, n, f int) (*Searcher, error) {
+	plan, err := sim.FromStrategy(st, n, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{n: n, f: f, minDistance: 1, st: st, plan: plan}, nil
+}
+
+// N returns the number of robots.
+func (s *Searcher) N() int { return s.n }
+
+// F returns the fault budget.
+func (s *Searcher) F() int { return s.f }
+
+// Strategy returns the name of the underlying strategy.
+func (s *Searcher) Strategy() string { return s.st.Name() }
+
+// MinDistance returns the minimal target distance the searcher was
+// built for (1 unless configured with WithMinDistance).
+func (s *Searcher) MinDistance() float64 { return s.minDistance }
+
+// SearchTime returns the worst-case time to find a target at position x
+// (|x| >= 1): the first visit by the (f+1)-st distinct robot, since an
+// adversary makes the f earliest visitors faulty. +Inf means the plan
+// cannot guarantee detection at x.
+func (s *Searcher) SearchTime(x float64) float64 {
+	return s.plan.SearchTime(x)
+}
+
+// KthVisitTime returns the time at which the k-th distinct robot first
+// stands on x (1 <= k <= n). SearchTime(x) equals KthVisitTime(x, f+1);
+// k = 1 is the fault-free detection time and k = n the group-search
+// "last arrival" time. +Inf means fewer than k robots ever visit x.
+func (s *Searcher) KthVisitTime(x float64, k int) (float64, error) {
+	return s.plan.KthDistinctVisit(x, k)
+}
+
+// Positions returns every robot's position at time t >= 0.
+func (s *Searcher) Positions(t float64) ([]float64, error) {
+	out := make([]float64, s.n)
+	for i, tr := range s.plan.Trajectories() {
+		x, err := tr.PositionAt(t)
+		if err != nil {
+			return nil, fmt.Errorf("linesearch: robot %d at t=%g: %w", i, t, err)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// DetectionTime returns the time a target at x is found when the robots
+// listed in faulty (by index) are the faulty ones. +Inf means no
+// reliable robot ever reaches x.
+func (s *Searcher) DetectionTime(x float64, faulty []int) (float64, error) {
+	vec, err := s.faultVector(faulty)
+	if err != nil {
+		return 0, err
+	}
+	return s.plan.DetectionTime(x, vec)
+}
+
+// WorstFaultSet returns the indices of the robots an adversary would
+// corrupt against a target at x: the f earliest distinct visitors.
+func (s *Searcher) WorstFaultSet(x float64) []int {
+	vec := s.plan.WorstFaultSet(x)
+	var out []int
+	for i, b := range vec {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CompetitiveRatio returns the plan's worst-case competitive ratio:
+// the closed form when the strategy has one (all built-ins do), and a
+// measured supremum otherwise.
+func (s *Searcher) CompetitiveRatio() (float64, error) {
+	if cr, ok := s.st.AnalyticCR(s.n, s.f); ok {
+		return cr, nil
+	}
+	cr, _, err := s.MeasureCR()
+	return cr, err
+}
+
+// MeasureCR measures the competitive ratio empirically by evaluating the
+// worst-case ratio at every trajectory turning point (where the supremum
+// is attained) plus a dense grid, over targets with
+// MinDistance <= |x| <= 1e4 * MinDistance. It returns the supremum and a
+// witness target position.
+func (s *Searcher) MeasureCR() (sup, witness float64, err error) {
+	res, err := s.plan.EmpiricalCR(sim.CROptions{XMin: s.minDistance})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Sup, res.ArgX, nil
+}
+
+// Event is one entry of a search timeline: a robot starting to move,
+// turning, visiting the target position, or detecting the target.
+type Event struct {
+	// T is the event time.
+	T float64
+	// Robot is the robot index.
+	Robot int
+	// Kind is "start", "turn", "visit" or "detect".
+	Kind string
+	// X is the event position.
+	X float64
+}
+
+// Timeline reconstructs the chronological event log of a search for a
+// target at x with the given faulty robots, up to time tmax.
+func (s *Searcher) Timeline(x float64, faulty []int, tmax float64) ([]Event, error) {
+	vec, err := s.faultVector(faulty)
+	if err != nil {
+		return nil, err
+	}
+	events, err := s.plan.Timeline(x, vec, tmax)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(events))
+	for i, e := range events {
+		out[i] = Event{T: e.T, Robot: e.Robot, Kind: e.Kind.String(), X: e.X}
+	}
+	return out, nil
+}
+
+// Stats summarises a Monte-Carlo fault-injection run: the distribution
+// of detection-time-to-distance ratios under uniformly random fault
+// sets and log-uniform target positions.
+type Stats struct {
+	Trials           int
+	Mean, Min, Max   float64
+	Median, P95, P99 float64
+}
+
+// MonteCarlo runs trials random searches (random fault set of size f,
+// random target with 1 <= |x| <= 1e4) and reports ratio statistics.
+// Random faults are far kinder than the adversary: the mean sits well
+// below the worst-case competitive ratio.
+func (s *Searcher) MonteCarlo(trials int, seed int64) (Stats, error) {
+	res, err := s.plan.MonteCarlo(sim.MCConfig{Trials: trials, Seed: seed})
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Trials: res.Trials, Mean: res.Mean, Min: res.Min, Max: res.Max}
+	if st.Median, err = res.Quantile(0.5); err != nil {
+		return Stats{}, err
+	}
+	if st.P95, err = res.Quantile(0.95); err != nil {
+		return Stats{}, err
+	}
+	if st.P99, err = res.Quantile(0.99); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// VerifyLowerBound plays the Theorem 2 adversary against this plan and
+// returns the certified bound alpha together with the worst ratio the
+// plan suffers on the adversarial target ladder (always >= alpha when
+// n < 2f+2). It errors for plans outside the theorem's hypothesis.
+func (s *Searcher) VerifyLowerBound() (alpha, ratio float64, err error) {
+	res, err := adversary.VerifyTheorem2(s.plan)
+	if err != nil {
+		return res.Alpha, res.Ratio, err
+	}
+	return res.Alpha, res.Ratio, nil
+}
+
+// faultVector converts an index list into a dense fault vector.
+func (s *Searcher) faultVector(faulty []int) ([]bool, error) {
+	vec := make([]bool, s.n)
+	for _, idx := range faulty {
+		if idx < 0 || idx >= s.n {
+			return nil, fmt.Errorf("linesearch: faulty robot index %d out of range [0, %d)", idx, s.n)
+		}
+		if vec[idx] {
+			return nil, fmt.Errorf("linesearch: duplicate faulty robot index %d", idx)
+		}
+		vec[idx] = true
+	}
+	return vec, nil
+}
+
+// BoundsInfo bundles the closed-form guarantees for a pair (n, f).
+type BoundsInfo struct {
+	// Regime describes which algorithm applies.
+	Regime string
+	// Upper is the competitive ratio of the paper's algorithm.
+	Upper float64
+	// Lower is the best proven lower bound for any algorithm.
+	Lower float64
+	// Beta is the optimal cone slope beta* (NaN outside the
+	// proportional regime).
+	Beta float64
+	// Expansion is the turning-point growth factor of A(n, f) (NaN
+	// outside the proportional regime).
+	Expansion float64
+}
+
+// Bounds returns the closed-form guarantees for (n, f): the Theorem 1
+// upper bound, the paper's best lower bound (9 for n = f+1, the
+// Theorem 2 root otherwise, 1 in the trivial regime), and the optimal
+// schedule parameters.
+func Bounds(n, f int) (BoundsInfo, error) {
+	regime, err := analysis.Classify(n, f)
+	if err != nil {
+		return BoundsInfo{}, err
+	}
+	info := BoundsInfo{Regime: regime.String(), Beta: math.NaN(), Expansion: math.NaN()}
+	if info.Upper, err = analysis.UpperBoundCR(n, f); err != nil {
+		return BoundsInfo{}, err
+	}
+	if info.Lower, err = analysis.LowerBoundCR(n, f); err != nil {
+		return BoundsInfo{}, err
+	}
+	if regime == analysis.RegimeProportional {
+		if info.Beta, err = analysis.OptimalBeta(n, f); err != nil {
+			return BoundsInfo{}, err
+		}
+		if info.Expansion, err = analysis.ExpansionFactor(n, f); err != nil {
+			return BoundsInfo{}, err
+		}
+	}
+	return info, nil
+}
+
+// CompetitiveRatio returns the Theorem 1 competitive ratio of the
+// paper's algorithm for (n, f) (1 in the trivial regime, +Inf when
+// n <= f).
+func CompetitiveRatio(n, f int) (float64, error) {
+	return analysis.UpperBoundCR(n, f)
+}
+
+// LowerBound returns the paper's best lower bound on the competitive
+// ratio of any algorithm for (n, f).
+func LowerBound(n, f int) (float64, error) {
+	return analysis.LowerBoundCR(n, f)
+}

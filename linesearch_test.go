@@ -1,0 +1,292 @@
+package linesearch
+
+import (
+	"math"
+	"testing"
+)
+
+func mustSearcher(t *testing.T, n, f int) *Searcher {
+	t.Helper()
+	s, err := New(n, f)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", n, f, err)
+	}
+	return s
+}
+
+func TestNewPicksRecommendedStrategy(t *testing.T) {
+	if s := mustSearcher(t, 3, 1); s.Strategy() != "proportional" {
+		t.Errorf("New(3,1) strategy %q", s.Strategy())
+	}
+	if s := mustSearcher(t, 6, 2); s.Strategy() != "twogroup" {
+		t.Errorf("New(6,2) strategy %q", s.Strategy())
+	}
+	if _, err := New(2, 2); err == nil {
+		t.Error("hopeless pair accepted")
+	}
+}
+
+func TestNewWithStrategy(t *testing.T) {
+	s, err := NewWithStrategy("doubling", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil || cr != 9 {
+		t.Errorf("doubling CR = %v, %v", cr, err)
+	}
+	if _, err := NewWithStrategy("nope", 3, 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := NewWithStrategy("twogroup", 3, 1); err == nil {
+		t.Error("invalid regime accepted")
+	}
+}
+
+func TestSearchTimeAndAccessors(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	if s.N() != 3 || s.F() != 1 {
+		t.Errorf("N, F = %d, %d", s.N(), s.F())
+	}
+	st := s.SearchTime(5)
+	if !(st >= 5) || math.IsInf(st, 1) {
+		t.Errorf("SearchTime(5) = %v", st)
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st > cr*5+1e-9 {
+		t.Errorf("SearchTime(5) = %v exceeds CR * distance = %v", st, cr*5)
+	}
+}
+
+func TestTwoGroupSearchTimeEqualsDistance(t *testing.T) {
+	s := mustSearcher(t, 6, 2)
+	for _, x := range []float64{1, -3.5, 42} {
+		if got := s.SearchTime(x); got != math.Abs(x) {
+			t.Errorf("SearchTime(%v) = %v, want %v", x, got, math.Abs(x))
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	ps, err := s.Positions(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d positions", len(ps))
+	}
+	for i, p := range ps {
+		if p != 0 {
+			t.Errorf("robot %d at t=0: %v, want origin", i, p)
+		}
+	}
+	if _, err := s.Positions(-1); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestDetectionTimeAndWorstFaults(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	x := 2.5
+	worst := s.WorstFaultSet(x)
+	if len(worst) != 1 {
+		t.Fatalf("worst fault set %v, want 1 index", worst)
+	}
+	dt, err := s.DetectionTime(x, worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != s.SearchTime(x) {
+		t.Errorf("worst-fault detection %v != search time %v", dt, s.SearchTime(x))
+	}
+	// No faults: detection is the first visit, strictly earlier here.
+	dt0, err := s.DetectionTime(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dt0 < dt) {
+		t.Errorf("fault-free detection %v not earlier than worst case %v", dt0, dt)
+	}
+}
+
+func TestDetectionTimeValidation(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	if _, err := s.DetectionTime(1, []int{5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := s.DetectionTime(1, []int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestMeasureCRMatchesAnalytic(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	analytic, err := s.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, witness, err := s.MeasureCR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sup-analytic) > 1e-6 {
+		t.Errorf("measured %v vs analytic %v", sup, analytic)
+	}
+	if math.Abs(witness) < 1 {
+		t.Errorf("witness %v below distance 1", witness)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	events, err := s.Timeline(2, []int{0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detect bool
+	for _, e := range events {
+		switch e.Kind {
+		case "start", "turn", "visit", "detect":
+		default:
+			t.Errorf("unknown event kind %q", e.Kind)
+		}
+		if e.Kind == "detect" {
+			detect = true
+			if e.Robot == 0 {
+				t.Error("faulty robot 0 detected the target")
+			}
+		}
+	}
+	if !detect {
+		t.Error("no detection within horizon")
+	}
+}
+
+func TestMonteCarlo(t *testing.T) {
+	s := mustSearcher(t, 5, 2)
+	stats, err := s.MonteCarlo(800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trials != 800 {
+		t.Errorf("Trials = %d", stats.Trials)
+	}
+	if !(1 <= stats.Min && stats.Min <= stats.Median && stats.Median <= stats.P95 &&
+		stats.P95 <= stats.P99 && stats.P99 <= stats.Max && stats.Max <= cr+1e-9) {
+		t.Errorf("inconsistent stats: %+v (CR %v)", stats, cr)
+	}
+	if !(stats.Mean < cr) {
+		t.Errorf("mean %v not below worst case %v", stats.Mean, cr)
+	}
+}
+
+func TestVerifyLowerBound(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	alpha, ratio, err := s.VerifyLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(alpha > 3 && ratio >= alpha) {
+		t.Errorf("alpha %v, ratio %v", alpha, ratio)
+	}
+	trivial := mustSearcher(t, 6, 2)
+	if _, _, err := trivial.VerifyLowerBound(); err == nil {
+		t.Error("trivial regime accepted (outside Theorem 2 hypothesis)")
+	}
+}
+
+func TestKthVisitTime(t *testing.T) {
+	s := mustSearcher(t, 5, 2)
+	x := 7.7
+	prev := 0.0
+	for k := 1; k <= 5; k++ {
+		got, err := s.KthVisitTime(x, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Errorf("k=%d: visit time %v not increasing", k, got)
+		}
+		prev = got
+	}
+	st, err := s.KthVisitTime(x, 3) // k = f+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != s.SearchTime(x) {
+		t.Errorf("KthVisitTime(x, f+1) = %v != SearchTime %v", st, s.SearchTime(x))
+	}
+	if _, err := s.KthVisitTime(x, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := s.KthVisitTime(x, 6); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+// TestCompetitiveRatioFallsBackToMeasurement: strategies without a
+// closed form (the uniform-spacing ablation) are measured instead.
+func TestCompetitiveRatioFallsBackToMeasurement(t *testing.T) {
+	s, err := NewWithStrategy("uniform:1.6666666666666667", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniform schedule at beta* measures ~8.33 (see the spacing
+	// experiment); anything clearly above the proportional 5.23 and
+	// below the doubling 9 confirms the measurement path ran.
+	if !(cr > 6 && cr < 9.5) {
+		t.Errorf("measured uniform CR = %v, expected in (6, 9.5)", cr)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b, err := Bounds(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Upper-5.233) > 2e-3 || math.Abs(b.Lower-3.76) > 5e-3 {
+		t.Errorf("bounds %+v", b)
+	}
+	if math.Abs(b.Beta-5.0/3) > 1e-12 || math.Abs(b.Expansion-4) > 1e-9 {
+		t.Errorf("schedule params %+v", b)
+	}
+
+	bt, err := Bounds(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Upper != 1 || bt.Lower != 1 || !math.IsNaN(bt.Beta) || !math.IsNaN(bt.Expansion) {
+		t.Errorf("trivial bounds %+v", bt)
+	}
+
+	if _, err := Bounds(0, 0); err == nil {
+		t.Error("invalid pair accepted")
+	}
+}
+
+func TestPackageLevelConvenience(t *testing.T) {
+	cr, err := CompetitiveRatio(2, 1)
+	if err != nil || math.Abs(cr-9) > 1e-9 {
+		t.Errorf("CompetitiveRatio(2,1) = %v, %v", cr, err)
+	}
+	lb, err := LowerBound(2, 1)
+	if err != nil || lb != 9 {
+		t.Errorf("LowerBound(2,1) = %v, %v", lb, err)
+	}
+	inf, err := CompetitiveRatio(2, 3)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("CompetitiveRatio(2,3) = %v, %v", inf, err)
+	}
+}
