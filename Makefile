@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro data clean
+.PHONY: all build test race bench repro data serve clean
 
 all: build test
 
@@ -23,6 +23,10 @@ bench:
 # Regenerate every table and figure as text on stdout.
 repro:
 	$(GO) run ./cmd/paper
+
+# Serve the library over JSON HTTP (plan cache, batch, metrics).
+serve:
+	$(GO) run ./cmd/linesearchd
 
 # Export every experiment's datasets as CSV and JSON under data/.
 data:

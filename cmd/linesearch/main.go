@@ -42,6 +42,12 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if math.IsNaN(*target) || math.IsInf(*target, 0) {
+		return fmt.Errorf("target position must be a finite number, got %v", *target)
+	}
+	if math.IsNaN(*minDist) || math.IsInf(*minDist, 0) || *minDist <= 0 {
+		return fmt.Errorf("minimal target distance must be a positive finite number, got %v", *minDist)
+	}
 	if math.Abs(*target) < *minDist {
 		return fmt.Errorf("target %g is closer than the minimal distance %g", *target, *minDist)
 	}
@@ -87,7 +93,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	worst := s.SearchTime(*target)
+	worst, err := s.SearchTime(*target)
+	if err != nil {
+		return err
+	}
 
 	if !*quiet {
 		horizon := worst * 1.05

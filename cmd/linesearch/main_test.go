@@ -129,3 +129,22 @@ func TestParseIndices(t *testing.T) {
 		t.Error("empty element accepted")
 	}
 }
+
+// TestRunRejectsNonFiniteFlags: NaN/Inf float flags fail fast with a
+// clear error instead of producing garbage output.
+func TestRunRejectsNonFiniteFlags(t *testing.T) {
+	bad := [][]string{
+		{"-n", "3", "-f", "1", "-target", "NaN"},
+		{"-n", "3", "-f", "1", "-target", "+Inf"},
+		{"-n", "3", "-f", "1", "-target", "-Inf"},
+		{"-n", "3", "-f", "1", "-target", "4", "-mindist", "NaN"},
+		{"-n", "3", "-f", "1", "-target", "4", "-mindist", "Inf"},
+		{"-n", "3", "-f", "1", "-target", "4", "-strategy", "cone:Inf"},
+	}
+	for _, args := range bad {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted non-finite input", args)
+		}
+	}
+}

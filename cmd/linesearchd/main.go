@@ -1,0 +1,133 @@
+// Command linesearchd serves the linesearch library over JSON HTTP: a
+// long-lived daemon with a plan cache (constructing a search plan is
+// the expensive, perfectly cacheable step), batch evaluation over a
+// bounded worker pool, and built-in metrics.
+//
+// Usage:
+//
+//	linesearchd [-addr :8080] [-cache 128] [-workers 0] [-max-batch 1024]
+//	            [-timeout 15s] [-log text|json] [-quiet]
+//
+// Endpoints (see internal/service):
+//
+//	GET  /v1/plan?n=3&f=1          plan parameters, CR, bounds, turning points
+//	GET  /v1/searchtime?n=3&f=1&x=7.5
+//	GET  /v1/timeline?n=3&f=1&x=2
+//	GET  /v1/lowerbound?n=3&f=1
+//	POST /v1/batch                 {"queries": [{"op": "plan", "n": 3, "f": 1}, ...]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"linesearch/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linesearchd:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownGrace is how long in-flight requests get to drain after a
+// shutdown signal.
+const shutdownGrace = 10 * time.Second
+
+// run parses flags, binds the listener, and serves until ctx is
+// cancelled (by signal in production, directly in tests). It prints
+// one "listening on <addr>" line to out once the port is bound, so
+// callers using ":0" can discover the ephemeral address.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linesearchd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	cacheSize := fs.Int("cache", 128, "number of constructed plans kept in the LRU cache")
+	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 1024, "maximum queries per batch request")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout (0 disables)")
+	logFormat := fs.String("log", "text", "log format: text or json")
+	quiet := fs.Bool("quiet", false, "suppress access logs (errors still logged)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelError
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	requestTimeout := *timeout
+	if requestTimeout == 0 {
+		requestTimeout = -1 // Config treats 0 as "default"; negative disables.
+	}
+	svc := service.New(service.Config{
+		CacheSize:      *cacheSize,
+		BatchWorkers:   *workers,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: requestTimeout,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "linesearchd: listening on %s\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "cache", *cacheSize, "max_batch", *maxBatch)
+
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "grace", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "linesearchd: shut down cleanly")
+	return nil
+}

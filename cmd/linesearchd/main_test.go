@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"linesearch"
+)
+
+// lineWatcher is an io.Writer that signals once the "listening on"
+// line arrives, so the test knows the ephemeral port is bound.
+type lineWatcher struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	ready chan struct{}
+	once  sync.Once
+}
+
+func newLineWatcher() *lineWatcher { return &lineWatcher{ready: make(chan struct{})} }
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if strings.Contains(w.buf.String(), "listening on ") {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return len(p), nil
+}
+
+func (w *lineWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// addr extracts the bound address from the "listening on" line.
+func (w *lineWatcher) addr(t *testing.T) string {
+	t.Helper()
+	for _, line := range strings.Split(w.String(), "\n") {
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("listening on "):])
+		}
+	}
+	t.Fatal("no listening line in output:\n" + w.String())
+	return ""
+}
+
+// TestServerEndToEnd is the ISSUE acceptance check: the daemon binds an
+// ephemeral port, serves /v1/plan?n=3&f=1 with the paper's CR for
+// A(3,1), /metrics reports cache hits after repeated identical
+// queries, and cancelling the context (the same path SIGINT drives via
+// signal.NotifyContext) shuts it down cleanly.
+func TestServerEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	out := newLineWatcher()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, out)
+	}()
+
+	select {
+	case <-out.ready:
+	case err := <-done:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+	base := "http://" + out.addr(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return m
+	}
+
+	// The paper's A(3,1) proportional schedule: CR must match the
+	// closed form (~5.2331).
+	wantCR, err := linesearch.CompetitiveRatio(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeat the identical query to generate cache hits
+		plan := getJSON("/v1/plan?n=3&f=1")
+		cr, ok := plan["competitive_ratio"].(float64)
+		if !ok {
+			t.Fatalf("plan response missing competitive_ratio: %v", plan)
+		}
+		if math.Abs(cr-wantCR) > 1e-9 {
+			t.Fatalf("CR = %v, want %v", cr, wantCR)
+		}
+	}
+	if math.Abs(wantCR-5.2331) > 1e-3 {
+		t.Fatalf("sanity: CompetitiveRatio(3,1) = %v, expected ~5.2331", wantCR)
+	}
+
+	// Healthz responds.
+	if h := getJSON("/healthz"); h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+
+	// Metrics show the repeated query hit the cache.
+	metrics := getJSON("/metrics")
+	cache, ok := metrics["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing cache section: %v", metrics)
+	}
+	if hits, _ := cache["hits"].(float64); hits < 1 {
+		t.Fatalf("cache hits = %v, want > 0 after repeated identical queries", cache["hits"])
+	}
+	endpoints, ok := metrics["endpoints"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing endpoints section: %v", metrics)
+	}
+	planEp, ok := endpoints["/v1/plan"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing /v1/plan endpoint: %v", endpoints)
+	}
+	if reqs, _ := planEp["requests"].(float64); reqs < 3 {
+		t.Fatalf("plan endpoint requests = %v, want >= 3", planEp["requests"])
+	}
+
+	// Graceful shutdown: cancelling the context is exactly what
+	// signal.NotifyContext does on Ctrl-C.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Errorf("missing clean-shutdown message in output:\n%s", out.String())
+	}
+
+	// The listener is actually gone.
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-log", "yaml"},               // unknown log format
+		{"-addr", "definitely:not:ok"}, // unparseable listen address
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &strings.Builder{})
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTimeoutFlagDisables(t *testing.T) {
+	// -timeout 0 must disable the per-request timeout rather than make
+	// every request time out instantly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := newLineWatcher()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-timeout", "0", "-quiet"}, out)
+	}()
+	select {
+	case <-out.ready:
+	case err := <-done:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/plan?n=4&f=1", out.addr(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with timeout disabled", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

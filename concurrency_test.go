@@ -13,7 +13,10 @@ func TestSearcherConcurrentUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := s.SearchTime(17.5)
+	want, err := s.SearchTime(17.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -22,7 +25,10 @@ func TestSearcherConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if got := s.SearchTime(17.5); got != want {
+			got, err := s.SearchTime(17.5)
+			if err != nil {
+				errs <- err
+			} else if got != want {
 				t.Errorf("goroutine %d: SearchTime = %v, want %v", g, got, want)
 			}
 			if _, _, err := s.MeasureCR(); err != nil {

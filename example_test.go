@@ -38,7 +38,8 @@ func ExampleBounds() {
 // of the (f+1)-st distinct robot.
 func ExampleSearcher_SearchTime() {
 	s, _ := linesearch.New(3, 1)
-	fmt.Printf("%.4f\n", s.SearchTime(4))
+	t, _ := s.SearchTime(4)
+	fmt.Printf("%.4f\n", t)
 	// The target at x = 4 is a turning point of robot 0; with robot 0's
 	// predecessor faulty the second distinct visitor arrives at 14.6667,
 	// ratio 3.6667 < CR = 5.2331.
@@ -51,7 +52,8 @@ func ExampleSearcher_SearchTime() {
 func ExampleNew_trivialRegime() {
 	s, _ := linesearch.New(6, 2)
 	fmt.Println(s.Strategy())
-	fmt.Println(s.SearchTime(42))
+	t, _ := s.SearchTime(42)
+	fmt.Println(t)
 	// Output:
 	// twogroup
 	// 42

@@ -71,7 +71,10 @@ func report(name string, s *linesearch.Searcher) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	worst := s.SearchTime(leakAt)
+	worst, err := s.SearchTime(leakAt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	faulty := s.WorstFaultSet(leakAt)
 	lucky, err := s.DetectionTime(leakAt, nil) // all sensors fine
 	if err != nil {

@@ -73,5 +73,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("=> buy %d robots, run %s scaled for targets >= 50 m: guaranteed %.3fx\n", n, s.Strategy(), cr)
-	fmt.Printf("   a target at 200 m is confirmed within %.0f m of travel\n", s.SearchTime(200))
+	within, err := s.SearchTime(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   a target at 200 m is confirmed within %.0f m of travel\n", within)
 }

@@ -29,7 +29,10 @@ func main() {
 	// A target hides at x = 7.5. SearchTime is the worst case over
 	// every possible fault assignment.
 	const target = 7.5
-	worst := s.SearchTime(target)
+	worst, err := s.SearchTime(target)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("target at x = %g: found within t = %.4f (ratio %.4f)\n", target, worst, worst/target)
 
 	// The adversary's best move is to corrupt the earliest visitors.

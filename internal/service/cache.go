@@ -1,0 +1,189 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"linesearch"
+)
+
+// PlanKey identifies a constructed search plan: everything that goes
+// into building a Searcher. Strategy is the resolved name ("" means the
+// paper's recommendation for the pair).
+type PlanKey struct {
+	N        int
+	F        int
+	Strategy string
+	MinDist  float64
+}
+
+// String formats the key for logs and errors.
+func (k PlanKey) String() string {
+	st := k.Strategy
+	if st == "" {
+		st = "auto"
+	}
+	return fmt.Sprintf("n=%d f=%d strategy=%s mindist=%g", k.N, k.F, st, k.MinDist)
+}
+
+// Plan is a cached value: the immutable Searcher plus its worst-case
+// competitive ratio, computed once at build time because strategies
+// without a closed form (the uniform ablation) measure it empirically.
+type Plan struct {
+	Searcher *linesearch.Searcher
+	CR       float64
+}
+
+// BuildFunc constructs the plan for a key. The default builder calls
+// linesearch.NewSearcher; tests substitute instrumented builders.
+type BuildFunc func(PlanKey) (*Plan, error)
+
+// defaultBuild is the production builder.
+func defaultBuild(k PlanKey) (*Plan, error) {
+	opts := []linesearch.Option{linesearch.WithMinDistance(k.MinDist)}
+	if k.Strategy != "" {
+		opts = append(opts, linesearch.WithStrategy(k.Strategy))
+	}
+	s, err := linesearch.NewSearcher(k.N, k.F, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(cr) || math.IsInf(cr, 0) {
+		return nil, fmt.Errorf("plan %v has unbounded competitive ratio", k)
+	}
+	return &Plan{Searcher: s, CR: cr}, nil
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness
+// counters, exported on /metrics.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	InflightWaits int64 `json:"inflight_waits"`
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+}
+
+// PlanCache is a concurrency-safe LRU cache of constructed Searchers
+// with in-flight deduplication: concurrent requests for the same cold
+// key build the plan exactly once, the rest wait for that build.
+// Build errors are returned to every waiter but never cached, so a
+// transient failure does not poison the key.
+type PlanCache struct {
+	build BuildFunc
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[PlanKey]*list.Element
+	inflight map[PlanKey]*inflightBuild
+
+	hits, misses, evictions, waits atomic.Int64
+}
+
+// cacheEntry is the list payload: key (for eviction) plus value.
+type cacheEntry struct {
+	key  PlanKey
+	plan *Plan
+}
+
+// inflightBuild tracks one in-progress plan construction.
+type inflightBuild struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// NewPlanCache returns an LRU cache holding up to capacity plans
+// (capacity < 1 is clamped to 1). A nil build uses the production
+// builder.
+func NewPlanCache(capacity int, build BuildFunc) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if build == nil {
+		build = defaultBuild
+	}
+	return &PlanCache{
+		build:    build,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[PlanKey]*list.Element),
+		inflight: make(map[PlanKey]*inflightBuild),
+	}
+}
+
+// Get returns the Searcher for key, building and caching it on a miss.
+// Safe for concurrent use.
+func (c *PlanCache) Get(key PlanKey) (*Plan, error) {
+	c.mu.Lock()
+	if elem, ok := c.items[key]; ok {
+		c.ll.MoveToFront(elem)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return elem.Value.(*cacheEntry).plan, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		<-call.done
+		return call.plan, call.err
+	}
+	call := &inflightBuild{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	call.plan, call.err = c.build(key)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.insertLocked(key, call.plan)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.plan, call.err
+}
+
+// insertLocked adds a built plan, evicting the least recently used
+// entry when full. Callers hold c.mu.
+func (c *PlanCache) insertLocked(key PlanKey, plan *Plan) {
+	if elem, ok := c.items[key]; ok {
+		// A racing builder for the same key already inserted; refresh.
+		c.ll.MoveToFront(elem)
+		elem.Value.(*cacheEntry).plan = plan
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	capacity := c.capacity
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		InflightWaits: c.waits.Load(),
+		Size:          size,
+		Capacity:      capacity,
+	}
+}

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"linesearch"
+)
+
+// countingBuild wraps the production builder and counts constructions.
+func countingBuild(count *atomic.Int64) BuildFunc {
+	return func(k PlanKey) (*Plan, error) {
+		count.Add(1)
+		return defaultBuild(k)
+	}
+}
+
+func key(n, f int) PlanKey { return PlanKey{N: n, F: f, MinDist: 1} }
+
+func TestCacheHitAndMiss(t *testing.T) {
+	var builds atomic.Int64
+	c := NewPlanCache(4, countingBuild(&builds))
+
+	p1, err := c.Get(key(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get(key(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("second Get did not return the cached plan")
+	}
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if p1.Searcher.N() != 3 || p1.CR == 0 {
+		t.Errorf("cached plan looks wrong: n=%d cr=%g", p1.Searcher.N(), p1.CR)
+	}
+}
+
+func TestCacheKeyIncludesEverything(t *testing.T) {
+	var builds atomic.Int64
+	c := NewPlanCache(8, countingBuild(&builds))
+	keys := []PlanKey{
+		{N: 3, F: 1, MinDist: 1},
+		{N: 5, F: 2, MinDist: 1},
+		{N: 3, F: 1, MinDist: 2},
+		{N: 3, F: 1, Strategy: "doubling", MinDist: 1},
+	}
+	for _, k := range keys {
+		if _, err := c.Get(k); err != nil {
+			t.Fatalf("Get(%v): %v", k, err)
+		}
+	}
+	if builds.Load() != int64(len(keys)) {
+		t.Errorf("builds = %d, want %d distinct keys", builds.Load(), len(keys))
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var builds atomic.Int64
+	c := NewPlanCache(2, countingBuild(&builds))
+
+	for _, f := range []int{1, 2, 3} { // n=5: three distinct valid keys
+		if _, err := c.Get(key(5, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Errorf("after overflow: %+v", st)
+	}
+	// key(5,1) was evicted (least recently used) and must rebuild.
+	if _, err := c.Get(key(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 4 {
+		t.Errorf("builds = %d, want 4 (3 cold + 1 re-build after eviction)", builds.Load())
+	}
+	// key(5,3) stayed hot the whole time.
+	before := builds.Load()
+	if _, err := c.Get(key(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != before {
+		t.Error("recently used key was evicted")
+	}
+}
+
+func TestCacheLRUTouchOnGet(t *testing.T) {
+	c := NewPlanCache(2, nil)
+	if _, err := c.Get(key(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 5,1 so 5,2 becomes the eviction victim.
+	if _, err := c.Get(key(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if _, err := c.Get(key(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Hits; got != st.Hits+1 {
+		t.Error("touched key was evicted instead of the stale one")
+	}
+}
+
+func TestCacheBuildErrorsNotCached(t *testing.T) {
+	fail := true
+	var builds int
+	c := NewPlanCache(4, func(k PlanKey) (*Plan, error) {
+		builds++
+		if fail {
+			return nil, errors.New("transient")
+		}
+		return defaultBuild(k)
+	})
+	if _, err := c.Get(key(3, 1)); err == nil {
+		t.Fatal("error not propagated")
+	}
+	fail = false
+	if _, err := c.Get(key(3, 1)); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+	if builds != 2 {
+		t.Errorf("builds = %d, want 2", builds)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Size != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheInvalidKeyError(t *testing.T) {
+	c := NewPlanCache(4, nil)
+	if _, err := c.Get(PlanKey{N: 2, F: 2, MinDist: 1}); err == nil {
+		t.Error("hopeless pair accepted")
+	}
+	if _, err := c.Get(PlanKey{N: 3, F: 1, Strategy: "bogus", MinDist: 1}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Errorf("failed builds were cached: %+v", st)
+	}
+}
+
+// TestCacheInflightDedup: a thundering herd on one cold key builds the
+// plan exactly once; everyone gets the same value.
+func TestCacheInflightDedup(t *testing.T) {
+	var builds atomic.Int64
+	release := make(chan struct{})
+	c := NewPlanCache(4, func(k PlanKey) (*Plan, error) {
+		builds.Add(1)
+		<-release // hold the build so the herd piles up
+		return defaultBuild(k)
+	})
+
+	const herd = 32
+	plans := make([]*linesearch.Searcher, herd)
+	var wg sync.WaitGroup
+	wg.Add(herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Get(key(3, 1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p.Searcher
+		}(i)
+	}
+	// Let the herd arrive, then release the single build.
+	for c.Stats().InflightWaits < herd-1 {
+		// The first goroutine holds the build; eventually every other
+		// one is parked on it.
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want exactly 1", builds.Load())
+	}
+	for i := 1; i < herd; i++ {
+		if plans[i] != plans[0] {
+			t.Fatalf("goroutine %d got a different plan", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.InflightWaits != herd-1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

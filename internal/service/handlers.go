@@ -1,0 +1,572 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"linesearch"
+)
+
+// Op names accepted by the batch endpoint; each GET endpoint maps to
+// exactly one op.
+const (
+	OpPlan       = "plan"
+	OpSearchTime = "searchtime"
+	OpTimeline   = "timeline"
+	OpLowerBound = "lowerbound"
+)
+
+// maxHorizonFactor caps timeline and turning-point horizons relative to
+// the schedule's minimal distance: uniform-spacing schedules produce
+// output linear in the horizon, so an unbounded horizon is a trivial
+// memory DoS.
+const maxHorizonFactor = 1e5
+
+// maxTurningPoints bounds the per-robot corner list in a plan response.
+const maxTurningPoints = 256
+
+// Query is one evaluation request. The GET endpoints parse it from URL
+// parameters; POST /v1/batch decodes a list of them from JSON (where
+// the standard JSON syntax already excludes NaN and infinities).
+type Query struct {
+	Op       string  `json:"op"`
+	N        int     `json:"n"`
+	F        int     `json:"f"`
+	Strategy string  `json:"strategy,omitempty"`
+	MinDist  float64 `json:"mindist,omitempty"` // 0 means the default 1
+	X        float64 `json:"x,omitempty"`
+	K        int     `json:"k,omitempty"` // 0 means the worst case f+1
+	Faulty   []int   `json:"faulty"`      // nil means the adversarial worst case
+	Tmax     float64 `json:"tmax,omitempty"`
+	Horizon  float64 `json:"horizon,omitempty"`
+}
+
+// apiError carries the HTTP status a failed evaluation maps to.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps an evaluation error to an HTTP status. Everything a
+// query can make the library reject is the client's fault.
+func statusOf(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return http.StatusBadRequest
+}
+
+// pointJSON is a space–time point in wire format.
+type pointJSON struct {
+	T float64 `json:"t"`
+	X float64 `json:"x"`
+}
+
+// PlanResult answers /v1/plan: the plan's parameters, guarantees and
+// geometry.
+type PlanResult struct {
+	N                int           `json:"n"`
+	F                int           `json:"f"`
+	Strategy         string        `json:"strategy"`
+	MinDist          float64       `json:"mindist"`
+	Regime           string        `json:"regime"`
+	CompetitiveRatio float64       `json:"competitive_ratio"`
+	UpperBound       *float64      `json:"upper_bound"`
+	LowerBound       *float64      `json:"lower_bound"`
+	Beta             *float64      `json:"beta,omitempty"`
+	Expansion        *float64      `json:"expansion,omitempty"`
+	Horizon          float64       `json:"horizon"`
+	TurningPoints    [][]pointJSON `json:"turning_points"`
+}
+
+// SearchTimeResult answers /v1/searchtime. Time and Ratio are null when
+// the plan cannot guarantee detection at x (the visit time is infinite).
+type SearchTimeResult struct {
+	N        int      `json:"n"`
+	F        int      `json:"f"`
+	Strategy string   `json:"strategy"`
+	X        float64  `json:"x"`
+	K        int      `json:"k"`
+	Time     *float64 `json:"time"`
+	Ratio    *float64 `json:"ratio"`
+	Detected bool     `json:"detected"`
+}
+
+// EventResult is one timeline entry in wire format.
+type EventResult struct {
+	T     float64 `json:"t"`
+	Robot int     `json:"robot"`
+	Kind  string  `json:"kind"`
+	X     float64 `json:"x"`
+}
+
+// TimelineResult answers /v1/timeline.
+type TimelineResult struct {
+	N             int           `json:"n"`
+	F             int           `json:"f"`
+	Strategy      string        `json:"strategy"`
+	X             float64       `json:"x"`
+	Faulty        []int         `json:"faulty"`
+	Tmax          float64       `json:"tmax"`
+	Events        []EventResult `json:"events"`
+	Detected      bool          `json:"detected"`
+	DetectionTime *float64      `json:"detection_time"`
+}
+
+// LowerBoundResult answers /v1/lowerbound: the pair-level closed forms,
+// no plan construction needed.
+type LowerBoundResult struct {
+	N          int      `json:"n"`
+	F          int      `json:"f"`
+	Regime     string   `json:"regime"`
+	UpperBound *float64 `json:"upper_bound"`
+	LowerBound *float64 `json:"lower_bound"`
+	Beta       *float64 `json:"beta,omitempty"`
+	Expansion  *float64 `json:"expansion,omitempty"`
+}
+
+// finitePtr returns a pointer to v, or nil when v is NaN or infinite —
+// encoding/json cannot represent non-finite values, so they become null.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// normalize fills defaults and rejects out-of-domain values that the
+// JSON decoding path cannot have caught. Library-level validation
+// (n vs f, strategy names, target domain) happens in eval via the
+// hardened linesearch API.
+func (q *Query) normalize() error {
+	switch q.Op {
+	case OpPlan, OpSearchTime, OpTimeline, OpLowerBound:
+	case "":
+		return badRequest("missing op")
+	default:
+		return badRequest("unknown op %q (known: plan, searchtime, timeline, lowerbound)", q.Op)
+	}
+	if q.MinDist == 0 {
+		q.MinDist = 1
+	}
+	if math.IsNaN(q.MinDist) || math.IsInf(q.MinDist, 0) || q.MinDist <= 0 {
+		return badRequest("mindist must be a positive finite number, got %g", q.MinDist)
+	}
+	if math.IsNaN(q.X) || math.IsInf(q.X, 0) {
+		return badRequest("x must be a finite number, got %g", q.X)
+	}
+	for _, h := range []float64{q.Tmax, q.Horizon} {
+		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+			return badRequest("horizons must be finite and non-negative, got %g", h)
+		}
+	}
+	if q.Tmax > maxHorizonFactor*q.MinDist {
+		return badRequest("tmax %g exceeds the maximum horizon %g", q.Tmax, maxHorizonFactor*q.MinDist)
+	}
+	if q.Horizon > maxHorizonFactor*q.MinDist {
+		return badRequest("horizon %g exceeds the maximum horizon %g", q.Horizon, maxHorizonFactor*q.MinDist)
+	}
+	if q.K < 0 {
+		return badRequest("k must be positive, got %d", q.K)
+	}
+	return nil
+}
+
+// key returns the plan-cache key for the query.
+func (q Query) key() PlanKey {
+	return PlanKey{N: q.N, F: q.F, Strategy: q.Strategy, MinDist: q.MinDist}
+}
+
+// eval answers one query. It is the single evaluation path shared by
+// the GET endpoints and the batch fan-out.
+func (s *Service) eval(q Query) (any, error) {
+	if err := q.normalize(); err != nil {
+		return nil, err
+	}
+	switch q.Op {
+	case OpPlan:
+		return s.evalPlan(q)
+	case OpSearchTime:
+		return s.evalSearchTime(q)
+	case OpTimeline:
+		return s.evalTimeline(q)
+	case OpLowerBound:
+		return s.evalLowerBound(q)
+	}
+	return nil, badRequest("unknown op %q", q.Op)
+}
+
+func (s *Service) evalPlan(q Query) (any, error) {
+	plan, err := s.cache.Get(q.key())
+	if err != nil {
+		return nil, err
+	}
+	horizon := q.Horizon
+	if horizon == 0 {
+		horizon = 50 * q.MinDist
+	}
+	pts, err := plan.Searcher.TurningPoints(horizon)
+	if err != nil {
+		return nil, err
+	}
+	robots := make([][]pointJSON, len(pts))
+	for i, ps := range pts {
+		if len(ps) > maxTurningPoints {
+			ps = ps[:maxTurningPoints]
+		}
+		robots[i] = make([]pointJSON, len(ps))
+		for j, p := range ps {
+			robots[i][j] = pointJSON{T: p.T, X: p.X}
+		}
+	}
+	bounds, err := linesearch.Bounds(q.N, q.F)
+	if err != nil {
+		return nil, err
+	}
+	return PlanResult{
+		N:                q.N,
+		F:                q.F,
+		Strategy:         plan.Searcher.Strategy(),
+		MinDist:          q.MinDist,
+		Regime:           bounds.Regime,
+		CompetitiveRatio: plan.CR,
+		UpperBound:       finitePtr(bounds.Upper),
+		LowerBound:       finitePtr(bounds.Lower),
+		Beta:             finitePtr(bounds.Beta),
+		Expansion:        finitePtr(bounds.Expansion),
+		Horizon:          horizon,
+		TurningPoints:    robots,
+	}, nil
+}
+
+func (s *Service) evalSearchTime(q Query) (any, error) {
+	plan, err := s.cache.Get(q.key())
+	if err != nil {
+		return nil, err
+	}
+	k := q.K
+	if k == 0 {
+		k = q.F + 1
+	}
+	var t float64
+	if k == q.F+1 {
+		t, err = plan.Searcher.SearchTime(q.X)
+	} else {
+		t, err = plan.Searcher.KthVisitTime(q.X, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := SearchTimeResult{
+		N:        q.N,
+		F:        q.F,
+		Strategy: plan.Searcher.Strategy(),
+		X:        q.X,
+		K:        k,
+		Detected: !math.IsInf(t, 1),
+	}
+	if res.Detected {
+		res.Time = finitePtr(t)
+		res.Ratio = finitePtr(t / math.Abs(q.X))
+	}
+	return res, nil
+}
+
+func (s *Service) evalTimeline(q Query) (any, error) {
+	plan, err := s.cache.Get(q.key())
+	if err != nil {
+		return nil, err
+	}
+	searcher := plan.Searcher
+	faulty := q.Faulty
+	if faulty == nil {
+		faulty = searcher.WorstFaultSet(q.X)
+		if faulty == nil {
+			faulty = []int{}
+		}
+	}
+	tmax := q.Tmax
+	if tmax == 0 {
+		worst, err := searcher.SearchTime(q.X)
+		if err != nil {
+			return nil, err
+		}
+		tmax = 1.05 * worst
+		if math.IsInf(tmax, 1) || tmax > maxHorizonFactor*q.MinDist {
+			tmax = 100 * math.Abs(q.X)
+		}
+	}
+	events, err := searcher.Timeline(q.X, faulty, tmax)
+	if err != nil {
+		return nil, err
+	}
+	res := TimelineResult{
+		N:        q.N,
+		F:        q.F,
+		Strategy: searcher.Strategy(),
+		X:        q.X,
+		Faulty:   faulty,
+		Tmax:     tmax,
+		Events:   make([]EventResult, len(events)),
+	}
+	for i, e := range events {
+		res.Events[i] = EventResult{T: e.T, Robot: e.Robot, Kind: e.Kind, X: e.X}
+		if e.Kind == "detect" && !res.Detected {
+			res.Detected = true
+			res.DetectionTime = finitePtr(e.T)
+		}
+	}
+	return res, nil
+}
+
+func (s *Service) evalLowerBound(q Query) (any, error) {
+	bounds, err := linesearch.Bounds(q.N, q.F)
+	if err != nil {
+		return nil, err
+	}
+	return LowerBoundResult{
+		N:          q.N,
+		F:          q.F,
+		Regime:     bounds.Regime,
+		UpperBound: finitePtr(bounds.Upper),
+		LowerBound: finitePtr(bounds.Lower),
+		Beta:       finitePtr(bounds.Beta),
+		Expansion:  finitePtr(bounds.Expansion),
+	}, nil
+}
+
+// --- URL parameter parsing -------------------------------------------
+
+// paramSpec lists the parameters each op accepts; anything else in the
+// query string is a 400 (catches typos like "stratgy" that would
+// otherwise be silently ignored).
+var paramSpec = map[string]map[string]bool{
+	OpPlan:       {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true},
+	OpSearchTime: {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true},
+	OpTimeline:   {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true},
+	OpLowerBound: {"n": true, "f": true},
+}
+
+// parseQuery builds a Query for op from URL parameters.
+func parseQuery(op string, v url.Values) (Query, error) {
+	q := Query{Op: op}
+	allowed := paramSpec[op]
+	for name := range v {
+		if !allowed[name] {
+			return q, badRequest("unknown parameter %q for %s", name, op)
+		}
+		if len(v[name]) > 1 {
+			return q, badRequest("parameter %q given %d times", name, len(v[name]))
+		}
+	}
+
+	var err error
+	if q.N, err = intParam(v, "n", 0); err != nil {
+		return q, err
+	}
+	if q.F, err = intParam(v, "f", -1); err != nil {
+		return q, err
+	}
+	if !v.Has("n") || !v.Has("f") {
+		return q, badRequest("parameters n and f are required")
+	}
+	q.Strategy = v.Get("strategy")
+	if q.MinDist, err = floatParam(v, "mindist", 1); err != nil {
+		return q, err
+	}
+	if q.X, err = floatParam(v, "x", 0); err != nil {
+		return q, err
+	}
+	if (op == OpSearchTime || op == OpTimeline) && !v.Has("x") {
+		return q, badRequest("parameter x is required for %s", op)
+	}
+	if q.K, err = intParam(v, "k", 0); err != nil {
+		return q, err
+	}
+	if q.Tmax, err = floatParam(v, "tmax", 0); err != nil {
+		return q, err
+	}
+	if q.Horizon, err = floatParam(v, "horizon", 0); err != nil {
+		return q, err
+	}
+	if raw := v.Get("faulty"); raw != "" {
+		if q.Faulty, err = parseIndexList(raw); err != nil {
+			return q, err
+		}
+	}
+	return q, nil
+}
+
+// intParam parses an optional integer parameter.
+func intParam(v url.Values, name string, def int) (int, error) {
+	raw := v.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	i, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %q must be an integer, got %q", name, raw)
+	}
+	return i, nil
+}
+
+// floatParam parses an optional finite float parameter.
+func floatParam(v url.Values, name string, def float64) (float64, error) {
+	raw := v.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("parameter %q must be a number, got %q", name, raw)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, badRequest("parameter %q must be finite, got %q", name, raw)
+	}
+	return f, nil
+}
+
+// parseIndexList parses "0,2,5" into an index list.
+func parseIndexList(raw string) ([]int, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		idx, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badRequest("invalid robot index %q", p)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v and writes it with the given status. Marshal
+// errors turn into a 500 (they indicate a server bug, not bad input).
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.logger.Error("marshal response", "err", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":"internal: cannot encode response"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// writeError writes the uniform error payload.
+func (s *Service) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorBody{Error: msg})
+}
+
+// handleQuery serves one GET endpoint backed by eval.
+func (s *Service) handleQuery(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseQuery(op, r.URL.Query())
+		if err != nil {
+			s.writeError(w, statusOf(err), err.Error())
+			return
+		}
+		res, err := s.eval(q)
+		if err != nil {
+			s.writeError(w, statusOf(err), err.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// BatchRequest is the POST /v1/batch payload.
+type BatchRequest struct {
+	Queries []Query `json:"queries"`
+}
+
+// BatchItem is one element of a batch response. Failed queries report
+// ok=false and an error; the batch as a whole still returns 200.
+type BatchItem struct {
+	OK     bool   `json:"ok"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+// handleBatch fans a list of queries out over the worker pool and
+// reports per-query results.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid batch body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+
+	items := make([]BatchItem, len(req.Queries))
+	err := forEach(r.Context(), len(req.Queries), s.cfg.BatchWorkers, func(i int) {
+		res, err := s.eval(req.Queries[i])
+		if err != nil {
+			items[i] = BatchItem{OK: false, Error: err.Error()}
+			return
+		}
+		items[i] = BatchItem{OK: true, Result: res}
+	})
+	if err != nil {
+		// The client went away or the request timed out mid-batch.
+		s.writeError(w, http.StatusServiceUnavailable, "batch cancelled: "+err.Error())
+		return
+	}
+	resp := BatchResponse{Results: items}
+	for _, it := range items {
+		if !it.OK {
+			resp.Errors++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics exports the counters as expvar-style JSON.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache.Stats()))
+}
+
+// handleHealthz is the liveness probe.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

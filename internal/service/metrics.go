@@ -1,0 +1,142 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The last
+// implicit bucket is +Inf.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// endpointMetrics aggregates one endpoint's counters: requests by
+// status class and a latency histogram. All fields are atomics so the
+// hot path never takes a lock.
+type endpointMetrics struct {
+	requests atomic.Int64
+	status2x atomic.Int64
+	status4x atomic.Int64
+	status5x atomic.Int64
+
+	latencySumMicros atomic.Int64 // sum in microseconds to stay integral
+	latencyCount     atomic.Int64
+	buckets          [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// observe records one finished request.
+func (m *endpointMetrics) observe(status int, d time.Duration) {
+	m.requests.Add(1)
+	switch {
+	case status >= 500:
+		m.status5x.Add(1)
+	case status >= 400:
+		m.status4x.Add(1)
+	default:
+		m.status2x.Add(1)
+	}
+	secs := d.Seconds()
+	m.latencySumMicros.Add(d.Microseconds())
+	m.latencyCount.Add(1)
+	idx := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			idx = i
+			break
+		}
+	}
+	m.buckets[idx].Add(1)
+}
+
+// Metrics is the service-wide registry. Endpoints are registered at
+// construction, so the serving path only touches atomics.
+type Metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+}
+
+// NewMetrics returns a registry with the given endpoint names
+// pre-registered.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	return m
+}
+
+// Observe records a finished request against a registered endpoint.
+// Unknown endpoints are dropped (programming error, not worth a panic
+// on the serving path).
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	if em, ok := m.endpoints[endpoint]; ok {
+		em.observe(status, d)
+	}
+}
+
+// EndpointSnapshot is the exported per-endpoint state.
+type EndpointSnapshot struct {
+	Requests int64            `json:"requests"`
+	Status   map[string]int64 `json:"status"`
+	Latency  LatencySnapshot  `json:"latency_seconds"`
+}
+
+// LatencySnapshot is an exported histogram: cumulative bucket counts
+// keyed by upper bound, plus count and sum for mean latency.
+type LatencySnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot is the full /metrics payload.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Cache         CacheStats                  `json:"cache"`
+}
+
+// Snapshot exports every counter. Cumulative bucket values follow the
+// Prometheus histogram convention (each bucket counts observations at
+// or below its bound; "+Inf" equals count).
+func (m *Metrics) Snapshot(cache CacheStats) Snapshot {
+	out := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Cache:         cache,
+	}
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		em := m.endpoints[name]
+		es := EndpointSnapshot{
+			Requests: em.requests.Load(),
+			Status: map[string]int64{
+				"2xx": em.status2x.Load(),
+				"4xx": em.status4x.Load(),
+				"5xx": em.status5x.Load(),
+			},
+			Latency: LatencySnapshot{
+				Count:   em.latencyCount.Load(),
+				Sum:     float64(em.latencySumMicros.Load()) / 1e6,
+				Buckets: make(map[string]int64, len(latencyBuckets)+1),
+			},
+		}
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += em.buckets[i].Load()
+			es.Latency.Buckets[fmt.Sprintf("%g", ub)] = cum
+		}
+		cum += em.buckets[len(latencyBuckets)].Load()
+		es.Latency.Buckets["+Inf"] = cum
+		out.Endpoints[name] = es
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsCountsAndClasses(t *testing.T) {
+	m := NewMetrics("/a", "/b")
+	m.Observe("/a", 200, time.Millisecond)
+	m.Observe("/a", 201, 2*time.Millisecond)
+	m.Observe("/a", 404, 3*time.Millisecond)
+	m.Observe("/a", 500, 4*time.Millisecond)
+	m.Observe("/b", 200, time.Second)
+	m.Observe("/nope", 200, time.Second) // unregistered: dropped
+
+	snap := m.Snapshot(CacheStats{})
+	a := snap.Endpoints["/a"]
+	if a.Requests != 4 {
+		t.Errorf("requests = %d", a.Requests)
+	}
+	if a.Status["2xx"] != 2 || a.Status["4xx"] != 1 || a.Status["5xx"] != 1 {
+		t.Errorf("status classes = %v", a.Status)
+	}
+	if a.Latency.Count != 4 {
+		t.Errorf("latency count = %d", a.Latency.Count)
+	}
+	if got, want := a.Latency.Sum, 0.010; got < want-1e-6 || got > want+1e-6 {
+		t.Errorf("latency sum = %v, want %v", got, want)
+	}
+	if snap.Endpoints["/b"].Requests != 1 {
+		t.Errorf("endpoint /b = %+v", snap.Endpoints["/b"])
+	}
+	if len(snap.Endpoints) != 2 {
+		t.Errorf("unregistered endpoint leaked into snapshot: %v", snap.Endpoints)
+	}
+}
+
+func TestMetricsHistogramCumulative(t *testing.T) {
+	m := NewMetrics("/a")
+	m.Observe("/a", 200, 50*time.Microsecond) // <= 0.0001
+	m.Observe("/a", 200, 2*time.Millisecond)  // <= 0.0025
+	m.Observe("/a", 200, 40*time.Millisecond) // <= 0.05
+	m.Observe("/a", 200, 10*time.Second)      // +Inf bucket
+
+	b := m.Snapshot(CacheStats{}).Endpoints["/a"].Latency.Buckets
+	checks := map[string]int64{
+		"0.0001": 1,
+		"0.001":  1,
+		"0.0025": 2,
+		"0.025":  2,
+		"0.05":   3,
+		"5":      3,
+		"+Inf":   4,
+	}
+	for ub, want := range checks {
+		if b[ub] != want {
+			t.Errorf("bucket %s = %d, want %d (all: %v)", ub, b[ub], want, b)
+		}
+	}
+}
+
+func TestMetricsSnapshotMarshals(t *testing.T) {
+	m := NewMetrics(endpointNames...)
+	m.Observe("/v1/plan", 200, time.Millisecond)
+	data, err := json.Marshal(m.Snapshot(CacheStats{Hits: 3, Misses: 1, Size: 1, Capacity: 128}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"uptime_seconds"`, `"/v1/plan"`, `"hits":3`, `"+Inf"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot JSON missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can log and count it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps one endpoint handler with per-endpoint metrics and
+// structured access logging.
+func (s *Service) instrument(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.metrics.Observe(endpoint, rec.status, elapsed)
+		s.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"endpoint", endpoint,
+			"status", rec.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 instead of tearing
+// down the connection, and logs the value.
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.logger.Error("panic in handler", "path", r.URL.Path, "panic", v)
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// forEach runs fn(i) for every i in [0, n) using at most workers
+// concurrent goroutines, returning early (without starting new items)
+// once ctx is cancelled. fn must write its result into caller-owned
+// slots indexed by i; forEach itself returns only the context error.
+func forEach(ctx context.Context, n, workers int, fn func(int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachProcessesEverything(t *testing.T) {
+	const n = 100
+	out := make([]int, n)
+	if err := forEach(context.Background(), n, 7, func(i int) { out[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	err := forEach(context.Background(), 50, workers, func(int) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("observed %d concurrent workers, limit %d", got, workers)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := forEach(context.Background(), 0, 4, func(int) { t.Error("called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachWorkerFloor(t *testing.T) {
+	var count atomic.Int64
+	if err := forEach(context.Background(), 5, 0, func(int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Errorf("processed %d of 5", count.Load())
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int64
+	err := forEach(ctx, 1000, 1, func(i int) {
+		processed.Add(1)
+		if i == 0 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancellation not reported")
+	}
+	if p := processed.Load(); p >= 1000 {
+		t.Errorf("all %d items processed despite cancellation", p)
+	}
+}

@@ -1,0 +1,112 @@
+// Package service implements linesearchd's HTTP serving layer: JSON
+// endpoints over the public linesearch API, backed by a concurrency-safe
+// LRU cache of constructed plans with in-flight deduplication, a bounded
+// worker pool for batch evaluation, and built-in observability
+// (per-endpoint request counters, latency histograms and cache counters
+// on /metrics, structured access logs, request timeouts).
+//
+// Endpoints:
+//
+//	GET  /v1/plan?n=&f=[&strategy=&mindist=&horizon=]   plan parameters, CR, bounds, turning points
+//	GET  /v1/searchtime?n=&f=&x=[&k=&strategy=&mindist=] worst-case (or k-th-visitor) detection time
+//	GET  /v1/timeline?n=&f=&x=[&faulty=&tmax=...]       event log of one search
+//	GET  /v1/lowerbound?n=&f=                           pair-level closed-form bounds
+//	POST /v1/batch                                      many queries in one request
+//	GET  /healthz                                       liveness probe
+//	GET  /metrics                                       expvar-style JSON counters
+//
+// Everything query-derived that the library rejects maps to a 400; the
+// construction of a Searcher (strategy selection, schedule synthesis,
+// plan building) is the expensive step and is cached per
+// (n, f, strategy, mindist) tuple.
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the service. The zero value gets sensible defaults.
+type Config struct {
+	// CacheSize is the number of constructed plans kept in the LRU
+	// (default 128).
+	CacheSize int
+	// BatchWorkers bounds the concurrency of one batch request
+	// (default GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatch is the largest accepted batch (default 1024).
+	MaxBatch int
+	// RequestTimeout is the per-request wall-clock budget (default
+	// 15s; negative disables the timeout handler).
+	RequestTimeout time.Duration
+	// Logger receives structured access and error logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// Build overrides plan construction (tests only).
+	Build BuildFunc
+}
+
+// Service is the linesearchd request handler set. Create with New;
+// safe for concurrent use.
+type Service struct {
+	cfg     Config
+	cache   *PlanCache
+	metrics *Metrics
+	logger  *slog.Logger
+}
+
+// endpointNames are the metric keys, one per route.
+var endpointNames = []string{
+	"/v1/plan", "/v1/searchtime", "/v1/timeline", "/v1/lowerbound",
+	"/v1/batch", "/healthz", "/metrics",
+}
+
+// New builds a Service from cfg, applying defaults for zero fields.
+func New(cfg Config) *Service {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Service{
+		cfg:     cfg,
+		cache:   NewPlanCache(cfg.CacheSize, cfg.Build),
+		metrics: NewMetrics(endpointNames...),
+		logger:  cfg.Logger,
+	}
+}
+
+// Cache exposes the plan cache (stats are also on /metrics).
+func (s *Service) Cache() *PlanCache { return s.cache }
+
+// Handler returns the full route set wired with metrics, access
+// logging, panic recovery and the request timeout.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/plan", s.instrument("/v1/plan", s.handleQuery(OpPlan)))
+	mux.Handle("GET /v1/searchtime", s.instrument("/v1/searchtime", s.handleQuery(OpSearchTime)))
+	mux.Handle("GET /v1/timeline", s.instrument("/v1/timeline", s.handleQuery(OpTimeline)))
+	mux.Handle("GET /v1/lowerbound", s.instrument("/v1/lowerbound", s.handleQuery(OpLowerBound)))
+	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", http.HandlerFunc(s.handleBatch)))
+	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+
+	var h http.Handler = mux
+	h = s.recoverPanics(h)
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return h
+}

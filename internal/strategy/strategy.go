@@ -8,6 +8,7 @@ package strategy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,8 +79,8 @@ func parseBeta(s string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("strategy: invalid cone slope %q: %w", s, err)
 	}
-	if !(beta > 1) {
-		return 0, fmt.Errorf("strategy: cone slope must exceed 1, got %v", beta)
+	if math.IsInf(beta, 0) || !(beta > 1) {
+		return 0, fmt.Errorf("strategy: cone slope must be finite and exceed 1, got %v", beta)
 	}
 	return beta, nil
 }

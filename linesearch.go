@@ -16,8 +16,8 @@
 //
 // Quick start:
 //
-//	s, err := linesearch.New(3, 1)   // 3 robots, at most 1 faulty
-//	t := s.SearchTime(7.5)           // worst-case detection time for a target at x = 7.5
+//	s, err := linesearch.New(3, 1)    // 3 robots, at most 1 faulty
+//	t, err := s.SearchTime(7.5)       // worst-case detection time for a target at x = 7.5
 //	b, err := linesearch.Bounds(3, 1) // closed-form upper/lower bounds
 package linesearch
 
@@ -86,11 +86,16 @@ func (s *Searcher) Strategy() string { return s.st.Name() }
 func (s *Searcher) MinDistance() float64 { return s.minDistance }
 
 // SearchTime returns the worst-case time to find a target at position x
-// (|x| >= 1): the first visit by the (f+1)-st distinct robot, since an
-// adversary makes the f earliest visitors faulty. +Inf means the plan
-// cannot guarantee detection at x.
-func (s *Searcher) SearchTime(x float64) float64 {
-	return s.plan.SearchTime(x)
+// (finite, |x| >= MinDistance()): the first visit by the (f+1)-st
+// distinct robot, since an adversary makes the f earliest visitors
+// faulty. +Inf means the plan cannot guarantee detection at x. It
+// rejects non-finite targets and targets closer than the minimal
+// distance the plan was built for.
+func (s *Searcher) SearchTime(x float64) (float64, error) {
+	if err := s.checkTarget(x); err != nil {
+		return 0, err
+	}
+	return s.plan.SearchTime(x), nil
 }
 
 // KthVisitTime returns the time at which the k-th distinct robot first
@@ -98,11 +103,29 @@ func (s *Searcher) SearchTime(x float64) float64 {
 // k = 1 is the fault-free detection time and k = n the group-search
 // "last arrival" time. +Inf means fewer than k robots ever visit x.
 func (s *Searcher) KthVisitTime(x float64, k int) (float64, error) {
+	if err := s.checkTarget(x); err != nil {
+		return 0, err
+	}
 	return s.plan.KthDistinctVisit(x, k)
+}
+
+// checkTarget rejects target positions outside the plan's domain: the
+// guarantees only cover finite targets with |x| >= MinDistance().
+func (s *Searcher) checkTarget(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("linesearch: target position must be finite, got %g", x)
+	}
+	if math.Abs(x) < s.minDistance {
+		return fmt.Errorf("linesearch: target %g closer than the minimal distance %g", x, s.minDistance)
+	}
+	return nil
 }
 
 // Positions returns every robot's position at time t >= 0.
 func (s *Searcher) Positions(t float64) ([]float64, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("linesearch: time must be finite, got %g", t)
+	}
 	out := make([]float64, s.n)
 	for i, tr := range s.plan.Trajectories() {
 		x, err := tr.PositionAt(t)
@@ -114,10 +137,47 @@ func (s *Searcher) Positions(t float64) ([]float64, error) {
 	return out, nil
 }
 
+// Point is a space–time point on a robot's trajectory: position X on
+// the line at time T.
+type Point struct {
+	T float64
+	X float64
+}
+
+// TurningPoints returns, for every robot, the corner points of its
+// trajectory with start time at most tmax (finite, >= 0): the start
+// point followed by every junction between motion segments. The last
+// point of each robot may lie slightly beyond tmax because the segment
+// it terminates starts before the horizon.
+func (s *Searcher) TurningPoints(tmax float64) ([][]Point, error) {
+	if math.IsNaN(tmax) || math.IsInf(tmax, 0) || tmax < 0 {
+		return nil, fmt.Errorf("linesearch: horizon must be finite and non-negative, got %g", tmax)
+	}
+	out := make([][]Point, s.n)
+	for i, tr := range s.plan.Trajectories() {
+		segs := tr.SegmentsUntil(tmax)
+		if len(segs) == 0 {
+			start := tr.Start()
+			out[i] = []Point{{T: start.T, X: start.X}}
+			continue
+		}
+		pts := make([]Point, 0, len(segs)+1)
+		pts = append(pts, Point{T: segs[0].From.T, X: segs[0].From.X})
+		for _, seg := range segs {
+			pts = append(pts, Point{T: seg.To.T, X: seg.To.X})
+		}
+		out[i] = pts
+	}
+	return out, nil
+}
+
 // DetectionTime returns the time a target at x is found when the robots
 // listed in faulty (by index) are the faulty ones. +Inf means no
 // reliable robot ever reaches x.
 func (s *Searcher) DetectionTime(x float64, faulty []int) (float64, error) {
+	if err := s.checkTarget(x); err != nil {
+		return 0, err
+	}
 	vec, err := s.faultVector(faulty)
 	if err != nil {
 		return 0, err
@@ -178,6 +238,12 @@ type Event struct {
 // Timeline reconstructs the chronological event log of a search for a
 // target at x with the given faulty robots, up to time tmax.
 func (s *Searcher) Timeline(x float64, faulty []int, tmax float64) ([]Event, error) {
+	if err := s.checkTarget(x); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(tmax) || math.IsInf(tmax, 0) || tmax < 0 {
+		return nil, fmt.Errorf("linesearch: timeline horizon must be finite and non-negative, got %g", tmax)
+	}
 	vec, err := s.faultVector(faulty)
 	if err != nil {
 		return nil, err

@@ -48,7 +48,10 @@ func TestSearchTimeAndAccessors(t *testing.T) {
 	if s.N() != 3 || s.F() != 1 {
 		t.Errorf("N, F = %d, %d", s.N(), s.F())
 	}
-	st := s.SearchTime(5)
+	st, err := s.SearchTime(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(st >= 5) || math.IsInf(st, 1) {
 		t.Errorf("SearchTime(5) = %v", st)
 	}
@@ -64,7 +67,11 @@ func TestSearchTimeAndAccessors(t *testing.T) {
 func TestTwoGroupSearchTimeEqualsDistance(t *testing.T) {
 	s := mustSearcher(t, 6, 2)
 	for _, x := range []float64{1, -3.5, 42} {
-		if got := s.SearchTime(x); got != math.Abs(x) {
+		got, err := s.SearchTime(x)
+		if err != nil {
+			t.Fatalf("SearchTime(%v): %v", x, err)
+		}
+		if got != math.Abs(x) {
 			t.Errorf("SearchTime(%v) = %v, want %v", x, got, math.Abs(x))
 		}
 	}
@@ -100,8 +107,12 @@ func TestDetectionTimeAndWorstFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dt != s.SearchTime(x) {
-		t.Errorf("worst-fault detection %v != search time %v", dt, s.SearchTime(x))
+	worstTime, err := s.SearchTime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != worstTime {
+		t.Errorf("worst-fault detection %v != search time %v", dt, worstTime)
 	}
 	// No faults: detection is the first visit, strictly earlier here.
 	dt0, err := s.DetectionTime(x, nil)
@@ -221,8 +232,12 @@ func TestKthVisitTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st != s.SearchTime(x) {
-		t.Errorf("KthVisitTime(x, f+1) = %v != SearchTime %v", st, s.SearchTime(x))
+	worst, err := s.SearchTime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != worst {
+		t.Errorf("KthVisitTime(x, f+1) = %v != SearchTime %v", st, worst)
 	}
 	if _, err := s.KthVisitTime(x, 0); err == nil {
 		t.Error("k = 0 accepted")
@@ -273,6 +288,94 @@ func TestBounds(t *testing.T) {
 
 	if _, err := Bounds(0, 0); err == nil {
 		t.Error("invalid pair accepted")
+	}
+}
+
+// TestNonFiniteInputsRejected: every float-taking query rejects NaN and
+// infinities with a clear error instead of computing garbage.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := s.SearchTime(x); err == nil {
+			t.Errorf("SearchTime(%v) accepted", x)
+		}
+		if _, err := s.KthVisitTime(x, 2); err == nil {
+			t.Errorf("KthVisitTime(%v) accepted", x)
+		}
+		if _, err := s.DetectionTime(x, nil); err == nil {
+			t.Errorf("DetectionTime(%v) accepted", x)
+		}
+		if _, err := s.Timeline(x, nil, 50); err == nil {
+			t.Errorf("Timeline(x=%v) accepted", x)
+		}
+		if _, err := s.Positions(x); err == nil {
+			t.Errorf("Positions(%v) accepted", x)
+		}
+		if _, err := s.TurningPoints(x); err == nil {
+			t.Errorf("TurningPoints(%v) accepted", x)
+		}
+	}
+	if _, err := s.Timeline(2, nil, math.NaN()); err == nil {
+		t.Error("Timeline with NaN horizon accepted")
+	}
+	if _, err := s.Timeline(2, nil, math.Inf(1)); err == nil {
+		t.Error("Timeline with infinite horizon accepted")
+	}
+	if _, err := RobotsNeeded(1, math.NaN()); err == nil {
+		t.Error("RobotsNeeded with NaN bound accepted")
+	}
+	if _, err := FaultsTolerable(3, math.NaN()); err == nil {
+		t.Error("FaultsTolerable with NaN bound accepted")
+	}
+	for _, name := range []string{"cone:+Inf", "cone:Inf", "cone:NaN", "uniform:Inf"} {
+		if _, err := NewWithStrategy(name, 3, 1); err == nil {
+			t.Errorf("strategy %q accepted", name)
+		}
+	}
+}
+
+// TestSearchTimeDomain: targets closer than the minimal distance are
+// outside the guarantee and rejected.
+func TestSearchTimeDomain(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	if _, err := s.SearchTime(0.5); err == nil {
+		t.Error("target below the minimal distance accepted")
+	}
+	d, err := NewSearcher(3, 1, WithMinDistance(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SearchTime(5); err == nil {
+		t.Error("target below the scaled minimal distance accepted")
+	}
+	if _, err := d.SearchTime(-10); err != nil {
+		t.Errorf("target at the minimal distance rejected: %v", err)
+	}
+}
+
+func TestTurningPoints(t *testing.T) {
+	s := mustSearcher(t, 3, 1)
+	pts, err := s.TurningPoints(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d robots", len(pts))
+	}
+	for i, ps := range pts {
+		if len(ps) < 2 {
+			t.Errorf("robot %d: only %d points", i, len(ps))
+		}
+		prev := math.Inf(-1)
+		for _, p := range ps {
+			if p.T < prev {
+				t.Errorf("robot %d: time runs backward at %+v", i, p)
+			}
+			prev = p.T
+		}
+		if ps[0].T != 0 || ps[0].X != 0 {
+			t.Errorf("robot %d does not start at the origin: %+v", i, ps[0])
+		}
 	}
 }
 

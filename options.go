@@ -114,6 +114,9 @@ func RobotsNeeded(f int, maxCR float64) (int, error) {
 	if f < 0 {
 		return 0, fmt.Errorf("linesearch: negative fault count %d", f)
 	}
+	if math.IsNaN(maxCR) {
+		return 0, fmt.Errorf("linesearch: competitive ratio bound must be a number, got NaN")
+	}
 	if maxCR < 1 {
 		return 0, fmt.Errorf("linesearch: no algorithm achieves competitive ratio %g < 1", maxCR)
 	}
@@ -138,6 +141,9 @@ func RobotsNeeded(f int, maxCR float64) (int, error) {
 func FaultsTolerable(n int, maxCR float64) (int, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("linesearch: need at least one robot, got %d", n)
+	}
+	if math.IsNaN(maxCR) {
+		return 0, fmt.Errorf("linesearch: competitive ratio bound must be a number, got NaN")
 	}
 	if maxCR < 1 {
 		return 0, fmt.Errorf("linesearch: no algorithm achieves competitive ratio %g < 1", maxCR)

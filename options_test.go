@@ -62,7 +62,11 @@ func TestNewSearcherWithMinDistance(t *testing.T) {
 	// ratio function oscillates within each expansion period — but the
 	// supremum is invariant.)
 	for _, x := range []float64{d, -1.7 * d, 10 * d, -123 * d} {
-		if got := s.SearchTime(x); got > want*math.Abs(x)+1e-6 {
+		got, err := s.SearchTime(x)
+		if err != nil {
+			t.Fatalf("SearchTime(%v): %v", x, err)
+		}
+		if got > want*math.Abs(x)+1e-6 {
 			t.Errorf("SearchTime(%v) = %v exceeds CR*|x| = %v", x, got, want*math.Abs(x))
 		}
 	}
@@ -82,7 +86,11 @@ func TestNewSearcherMinDistanceWithTwoGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.SearchTime(100); got != 100 {
+	got, err := s.SearchTime(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
 		t.Errorf("SearchTime(100) = %v, want 100", got)
 	}
 }

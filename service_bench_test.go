@@ -1,0 +1,107 @@
+package linesearch_test
+
+// Service benchmarks live in the external test package so they can
+// import internal/service, which itself imports linesearch.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"linesearch/internal/service"
+)
+
+func newBenchService(b *testing.B, cacheSize int) http.Handler {
+	b.Helper()
+	svc := service.New(service.Config{
+		CacheSize:      cacheSize,
+		RequestTimeout: -1,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	return svc.Handler()
+}
+
+func serveBench(b *testing.B, h http.Handler, req *http.Request) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s %s: status %d: %s", req.Method, req.URL, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServicePlanCold measures the full request path on a cache
+// miss: parse, construct the A(n, f) plan, compute its CR and bounds,
+// serialise. MinDist varies per iteration so every request misses.
+func BenchmarkServicePlanCold(b *testing.B) {
+	h := newBenchService(b, 1) // capacity 1: distinct keys always rebuild
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mindist := 1 + float64(i%1000)/1000 // cycle of 1000 distinct keys
+		req := httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/plan?n=5&f=2&mindist=%g", mindist), nil)
+		serveBench(b, h, req)
+	}
+}
+
+// BenchmarkServicePlanHot measures the same path when the plan is
+// cached: everything except construction.
+func BenchmarkServicePlanHot(b *testing.B) {
+	h := newBenchService(b, 8)
+	warm := httptest.NewRequest(http.MethodGet, "/v1/plan?n=5&f=2", nil)
+	serveBench(b, h, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/plan?n=5&f=2", nil)
+		serveBench(b, h, req)
+	}
+}
+
+// BenchmarkBatch measures a 64-query mixed batch (plan, searchtime and
+// lowerbound ops over a handful of (n, f) pairs) through the worker
+// pool, with a warm cache.
+func BenchmarkBatch(b *testing.B) {
+	h := newBenchService(b, 32)
+	var queries []map[string]any
+	for i := 0; i < 64; i++ {
+		n, f := 3+i%5, 1+i%2
+		if n <= 2*f { // keep out of the hopeless regime
+			f = 1
+		}
+		q := map[string]any{"n": n, "f": f}
+		switch i % 3 {
+		case 0:
+			q["op"] = "plan"
+		case 1:
+			q["op"] = "searchtime"
+			q["x"] = 2.0 + float64(i)
+		case 2:
+			q["op"] = "lowerbound"
+		}
+		queries = append(queries, q)
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm the cache so the benchmark measures fan-out and evaluation,
+	// not first-touch plan construction.
+	warm := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	warm.Header.Set("Content-Type", "application/json")
+	serveBench(b, h, warm)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		serveBench(b, h, req)
+	}
+}
