@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro data serve clean
+.PHONY: all build test race bench repro data serve sweep clean
 
 all: build test
 
@@ -27,6 +27,13 @@ repro:
 # Serve the library over JSON HTTP (plan cache, batch, metrics).
 serve:
 	$(GO) run ./cmd/linesearchd
+
+# Run the default checkpointed parameter sweep in the foreground
+# (interrupt with Ctrl-C; rerunning resumes). Datasets land in
+# data/sweeps/ — see data/README.md for the schema.
+sweep:
+	$(GO) run ./cmd/linesweep -n 2,3,4,5,6,7,8,9,10,11 -f 1,2,3,4,5 \
+		-strategies auto,doubling -betas 2.5,4
 
 # Export every experiment's datasets as CSV and JSON under data/.
 data:

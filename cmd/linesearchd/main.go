@@ -7,6 +7,7 @@
 //
 //	linesearchd [-addr :8080] [-cache 128] [-workers 0] [-max-batch 1024]
 //	            [-timeout 15s] [-log text|json] [-quiet]
+//	            [-sweep-dir data/sweeps] [-sweep-workers 0] [-sweep-jobs 2]
 //
 // Endpoints (see internal/service):
 //
@@ -15,11 +16,15 @@
 //	GET  /v1/timeline?n=3&f=1&x=2
 //	GET  /v1/lowerbound?n=3&f=1
 //	POST /v1/batch                 {"queries": [{"op": "plan", "n": 3, "f": 1}, ...]}
+//	POST /v1/sweeps                submit a background parameter sweep (checkpointed, resumable)
+//	GET  /v1/sweeps                list sweep jobs; /v1/sweeps/{id} for status, .../result for data
 //	GET  /healthz
 //	GET  /metrics
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get a drain window before the listener closes.
+// requests get a drain window before the listener closes, and running
+// sweeps are checkpointed so the next start resumes them when their
+// specs are resubmitted.
 package main
 
 import (
@@ -33,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"linesearch/internal/service"
+	"linesearch/internal/sweep"
 )
 
 func main() {
@@ -65,6 +72,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout (0 disables)")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "suppress access logs (errors still logged)")
+	sweepDir := fs.String("sweep-dir", filepath.Join("data", "sweeps"), "directory for sweep checkpoints and result datasets")
+	sweepWorkers := fs.Int("sweep-workers", 0, "cell workers per running sweep job (0 = GOMAXPROCS)")
+	sweepJobs := fs.Int("sweep-jobs", 2, "sweep jobs running concurrently (excess submissions queue)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,12 +99,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if requestTimeout == 0 {
 		requestTimeout = -1 // Config treats 0 as "default"; negative disables.
 	}
+	sweeps := sweep.NewManager(sweep.Config{
+		Dir:           *sweepDir,
+		Workers:       *sweepWorkers,
+		MaxActiveJobs: *sweepJobs,
+		Logger:        logger,
+	})
+	// Fail fast on an unwritable sweep directory instead of failing the
+	// first submitted job.
+	if err := os.MkdirAll(*sweepDir, 0o755); err != nil {
+		return fmt.Errorf("sweep directory: %w", err)
+	}
 	svc := service.New(service.Config{
 		CacheSize:      *cacheSize,
 		BatchWorkers:   *workers,
 		MaxBatch:       *maxBatch,
 		RequestTimeout: requestTimeout,
 		Logger:         logger,
+		Sweeps:         sweeps,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -125,6 +147,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Checkpoint and stop background sweeps after the listener closes;
+	// resubmitting their specs on the next start resumes them.
+	svc.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

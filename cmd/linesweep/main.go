@@ -1,0 +1,202 @@
+// Command linesweep runs a parameter sweep locally: the same
+// checkpointed, resumable job engine linesearchd serves over HTTP, but
+// driven to completion in the foreground. The grid comes either from a
+// JSON spec file (-spec, the exact POST /v1/sweeps payload) or from
+// flags. Interrupting a run (SIGINT/SIGTERM) checkpoints it; rerunning
+// the identical spec resumes from the checkpoint instead of
+// recomputing.
+//
+// Usage:
+//
+//	linesweep -n 2,3,4,5 -f 1,2 [-strategies auto,doubling] [-betas 2.5]
+//	          [-xmin 1] [-xmax 100] [-grid 64] [-name sweep]
+//	          [-dir data/sweeps] [-workers 0] [-checkpoint-every 32]
+//	          [-progress 1s] [-quiet]
+//	linesweep -spec sweep.json [-dir data/sweeps] ...
+//
+// Results land as <dir>/<job-id>.csv and .json (see data/README.md for
+// the column schema); progress and a summary print to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"linesearch/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linesweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, submits the sweep to a local manager, and drives it
+// to a terminal state, checkpointing on interruption.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linesweep", flag.ContinueOnError)
+	specFile := fs.String("spec", "", "JSON sweep spec file (same shape as POST /v1/sweeps); overrides the grid flags")
+	nList := fs.String("n", "", "comma-separated robot counts, e.g. 2,3,4,5")
+	fList := fs.String("f", "", "comma-separated fault budgets, e.g. 1,2,3")
+	strategies := fs.String("strategies", "", "comma-separated strategy names (auto, proportional, twogroup, doubling, cone:<beta>, uniform:<beta>); default auto")
+	betas := fs.String("betas", "", "comma-separated cone slopes, each adding a cone:<beta> strategy")
+	xmin := fs.Float64("xmin", 0, "smallest target distance (0 = default 1)")
+	xmax := fs.Float64("xmax", 0, "largest target distance (0 = default 100*xmin)")
+	grid := fs.Int("grid", 0, "safety-grid points per half line (0 = default 64)")
+	name := fs.String("name", "", "dataset name (default \"sweep\")")
+	dir := fs.String("dir", filepath.Join("data", "sweeps"), "directory for checkpoints and result datasets")
+	workers := fs.Int("workers", 0, "cell workers (0 = GOMAXPROCS)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "cells between checkpoint flushes (0 = default 32)")
+	progress := fs.Duration("progress", time.Second, "progress print interval")
+	quiet := fs.Bool("quiet", false, "suppress progress lines (summary still prints)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := buildSpec(*specFile, *nList, *fList, *strategies, *betas, *xmin, *xmax, *grid, *name)
+	if err != nil {
+		return err
+	}
+
+	logLevel := slog.LevelInfo
+	if *quiet {
+		logLevel = slog.LevelError
+	}
+	m := sweep.NewManager(sweep.Config{
+		Dir:             *dir,
+		Workers:         *workers,
+		CheckpointEvery: *checkpointEvery,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel})),
+	})
+	defer m.Close()
+
+	job, err := m.Submit(spec)
+	if err != nil {
+		return err
+	}
+	st := job.Status()
+	fmt.Fprintf(out, "sweep %s: %d cells (%d resumed from checkpoint), datasets under %s\n",
+		st.ID, st.TotalCells, st.ResumedCells, *dir)
+
+	ticker := time.NewTicker(*progress)
+	defer ticker.Stop()
+	interrupted := false
+	for done := false; !done; {
+		select {
+		case <-job.Done():
+			done = true
+		case <-ctx.Done():
+			if !interrupted {
+				interrupted = true
+				fmt.Fprintln(out, "interrupted: checkpointing...")
+				job.Cancel()
+			}
+		case <-ticker.C:
+			if !*quiet {
+				printProgress(out, job.Status())
+			}
+		}
+	}
+	return summarize(out, job)
+}
+
+// buildSpec assembles the sweep spec from a file or from flags.
+func buildSpec(specFile, nList, fList, strategies, betas string, xmin, xmax float64, grid int, name string) (sweep.Spec, error) {
+	var spec sweep.Spec
+	if specFile != "" {
+		if nList != "" || fList != "" || strategies != "" || betas != "" {
+			return spec, fmt.Errorf("-spec and grid flags (-n, -f, -strategies, -betas) are mutually exclusive")
+		}
+		blob, err := os.ReadFile(specFile)
+		if err != nil {
+			return spec, err
+		}
+		if err := json.Unmarshal(blob, &spec); err != nil {
+			return spec, fmt.Errorf("decode spec %s: %w", specFile, err)
+		}
+		return spec, nil
+	}
+	var err error
+	if spec.N, err = sweep.ParseInts(nList); err != nil {
+		return spec, err
+	}
+	if spec.F, err = sweep.ParseInts(fList); err != nil {
+		return spec, err
+	}
+	if len(spec.N) == 0 || len(spec.F) == 0 {
+		return spec, fmt.Errorf("need -spec, or both -n and -f")
+	}
+	if strategies != "" {
+		for _, s := range strings.Split(strategies, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				spec.Strategies = append(spec.Strategies, s)
+			}
+		}
+	}
+	if spec.Betas, err = sweep.ParseFloats(betas); err != nil {
+		return spec, err
+	}
+	spec.XMin = xmin
+	spec.XMax = xmax
+	spec.GridPoints = grid
+	spec.Name = name
+	return spec, nil
+}
+
+// printProgress renders one status line.
+func printProgress(out io.Writer, st sweep.Status) {
+	line := fmt.Sprintf("  %s: %d/%d cells", st.State, st.DoneCells, st.TotalCells)
+	if st.CellErrors > 0 {
+		line += fmt.Sprintf(", %d cell errors", st.CellErrors)
+	}
+	if st.ETASeconds != nil {
+		line += fmt.Sprintf(", ETA %.1fs", *st.ETASeconds)
+	}
+	fmt.Fprintln(out, line)
+}
+
+// summarize prints the terminal report and maps the job state to the
+// process outcome.
+func summarize(out io.Writer, job *sweep.Job) error {
+	st := job.Status()
+	fmt.Fprintf(out, "sweep %s %s: %d/%d cells in %.2fs (%d resumed, %d cell errors)\n",
+		st.ID, st.State, st.DoneCells, st.TotalCells, st.ElapsedSeconds,
+		st.ResumedCells, st.CellErrors)
+	switch st.State {
+	case sweep.StateDone:
+		worst, checked := 0.0, 0
+		for _, c := range job.CompletedCells() {
+			if c.AbsError != nil {
+				checked++
+				if *c.AbsError > worst {
+					worst = *c.AbsError
+				}
+			}
+		}
+		if checked > 0 {
+			fmt.Fprintf(out, "closed-form cross-check: %d cells, worst |empirical - analytic| = %.3g\n", checked, worst)
+		}
+		for _, f := range st.Files {
+			fmt.Fprintf(out, "wrote %s\n", f)
+		}
+		return nil
+	case sweep.StateCancelled:
+		fmt.Fprintln(out, "checkpoint saved; rerun the same spec to resume")
+		return nil
+	default:
+		return fmt.Errorf("sweep %s: %s", st.State, st.Error)
+	}
+}

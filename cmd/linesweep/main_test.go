@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagsGrid(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-n", "2,3,4", "-f", "1,2", "-xmax", "30", "-grid", "8",
+		"-dir", dir, "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"6 cells", "done: 6/6 cells", "closed-form cross-check", "wrote "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "sw-*.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("csv files = %v, %v", matches, err)
+	}
+	blob, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(blob), "n,f,strategy_id,beta,empirical_cr,analytic_cr,abs_error,arg_x,candidates") {
+		t.Errorf("csv header:\n%s", blob[:min(len(blob), 120)])
+	}
+}
+
+func TestRunSpecFileAndResume(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{"name": "cli", "n": [3, 5], "f": [1, 2], "xmax": 30, "grid_points": 8}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-spec", specPath, "-dir", dir, "-quiet"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(0 resumed from checkpoint)") {
+		t.Errorf("first run claims resume:\n%s", out.String())
+	}
+
+	// The identical spec resumes the finished checkpoint: every cell is
+	// replayed, none recomputed.
+	out.Reset()
+	if err := run(context.Background(), []string{"-spec", specPath, "-dir", dir, "-quiet"}, &out); err != nil {
+		t.Fatalf("rerun: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "(4 resumed from checkpoint)") || !strings.Contains(s, "4 resumed") {
+		t.Errorf("rerun did not resume:\n%s", s)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                             // no grid at all
+		{"-n", "3"},                    // missing -f
+		{"-n", "3,x", "-f", "1"},       // bad integer
+		{"-n", "3", "-f", "1", "-betas", "oops"},
+		{"-spec", "nope.json"},         // missing file
+		{"-spec", "s.json", "-n", "3"}, // mutually exclusive
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(context.Background(), append(args, "-quiet"), &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestRunInterruptCheckpoints(t *testing.T) {
+	// A pre-cancelled context behaves like an immediate SIGINT: the job
+	// is cancelled, checkpointed, and reported resumable.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-n", "3,5,7,9,11", "-f", "1,2,3", "-xmax", "50", "-grid", "8",
+		"-dir", dir, "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	// The race between cancellation and completion is real: accept either
+	// a cancelled (resumable) or a done run, but require the checkpoint.
+	if !strings.Contains(s, "rerun the same spec to resume") && !strings.Contains(s, "done:") {
+		t.Errorf("unexpected outcome:\n%s", s)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "sw-*.checkpoint.json"))
+	if len(matches) != 1 {
+		t.Errorf("checkpoint files = %v", matches)
+	}
+}

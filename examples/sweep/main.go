@@ -1,0 +1,163 @@
+// Sweep: drive linesearchd's background job API end to end. The
+// example submits a (n, f, beta) grid to POST /v1/sweeps, polls
+// GET /v1/sweeps/{id} until the job finishes (printing progress as it
+// goes), fetches the dataset from .../result, and renders the measured
+// competitive-ratio grid per strategy — the service-side version of
+// what `linesweep` computes locally.
+//
+// Start a daemon first:
+//
+//	go run ./cmd/linesearchd -addr :8080
+//	go run ./examples/sweep -addr http://localhost:8080
+//
+// Submitting the same spec twice is idempotent, and resubmitting after
+// a daemon restart resumes from the job's checkpoint — rerun this
+// example against a bounced daemon to see `resumed: true`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// spec is the submitted grid: every (n, f) regime of Table 1 under the
+// paper's recommended strategy plus one deliberately detuned cone.
+const spec = `{
+  "name": "example",
+  "n": [2, 3, 4, 5, 6, 7, 8],
+  "f": [1, 2, 3],
+  "strategies": ["auto"],
+  "betas": [2.5],
+  "xmax": 200
+}`
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "linesearchd base URL")
+	flag.Parse()
+
+	// Submit. 202 means the job runs in the background from here on.
+	resp, err := http.Post(*addr+"/v1/sweeps", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		log.Fatalf("submit (is linesearchd running at %s?): %v", *addr, err)
+	}
+	var sub struct {
+		ID         string `json:"id"`
+		TotalCells int    `json:"total_cells"`
+		Resumed    bool   `json:"resumed"`
+	}
+	if err := decode(resp, &sub); err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("submitted sweep %s: %d cells, resumed: %v\n", sub.ID, sub.TotalCells, sub.Resumed)
+
+	// Poll until terminal.
+	for {
+		resp, err := http.Get(*addr + "/v1/sweeps/" + sub.ID)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		var st struct {
+			State      string `json:"state"`
+			DoneCells  int    `json:"done_cells"`
+			TotalCells int    `json:"total_cells"`
+			CellErrors int    `json:"cell_errors"`
+			Error      string `json:"error"`
+		}
+		if err := decode(resp, &st); err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		fmt.Printf("  %s: %d/%d cells (%d cell errors)\n", st.State, st.DoneCells, st.TotalCells, st.CellErrors)
+		switch st.State {
+		case "done":
+		case "failed", "cancelled":
+			log.Fatalf("sweep %s: %s %s", sub.ID, st.State, st.Error)
+		default:
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		break
+	}
+
+	// Fetch the dataset and pivot it into one CR grid per strategy.
+	resp, err = http.Get(*addr + "/v1/sweeps/" + sub.ID + "/result")
+	if err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	var res struct {
+		Strategies []string `json:"strategies"`
+		Dataset    struct {
+			Columns []string     `json:"columns"`
+			Rows    [][]*float64 `json:"rows"`
+		} `json:"dataset"`
+	}
+	if err := decode(resp, &res); err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	col := map[string]int{}
+	for i, c := range res.Dataset.Columns {
+		col[c] = i
+	}
+	type key struct {
+		sid, n, f int
+	}
+	cr := map[key]float64{}
+	var ns, fs []int
+	seenN, seenF := map[int]bool{}, map[int]bool{}
+	for _, row := range res.Dataset.Rows {
+		if row[col["empirical_cr"]] == nil {
+			continue
+		}
+		k := key{
+			sid: int(*row[col["strategy_id"]]),
+			n:   int(*row[col["n"]]),
+			f:   int(*row[col["f"]]),
+		}
+		cr[k] = *row[col["empirical_cr"]]
+		if !seenN[k.n] {
+			seenN[k.n] = true
+			ns = append(ns, k.n)
+		}
+		if !seenF[k.f] {
+			seenF[k.f] = true
+			fs = append(fs, k.f)
+		}
+	}
+
+	for sid, name := range res.Strategies {
+		fmt.Printf("\nmeasured competitive ratio, strategy %q (n down, f across):\n", name)
+		fmt.Printf("%6s", "n\\f")
+		for _, f := range fs {
+			fmt.Printf("%10d", f)
+		}
+		fmt.Println()
+		for _, n := range ns {
+			fmt.Printf("%6d", n)
+			for _, f := range fs {
+				if v, ok := cr[key{sid, n, f}]; ok {
+					fmt.Printf("%10.4f", v)
+				} else {
+					fmt.Printf("%10s", "-") // infeasible cell (n <= f, or out of regime)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// decode reads a JSON response, treating non-2xx statuses as errors.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

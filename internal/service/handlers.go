@@ -563,7 +563,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics exports the counters as expvar-style JSON.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache.Stats()))
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats()))
 }
 
 // handleHealthz is the liveness probe.

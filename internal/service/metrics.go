@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"linesearch/internal/sweep"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The last
@@ -98,16 +100,20 @@ type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Cache         CacheStats                  `json:"cache"`
+	// Sweeps carries the background job-engine counters and in-flight
+	// gauges (see sweep.ManagerStats).
+	Sweeps sweep.ManagerStats `json:"sweeps"`
 }
 
 // Snapshot exports every counter. Cumulative bucket values follow the
 // Prometheus histogram convention (each bucket counts observations at
 // or below its bound; "+Inf" equals count).
-func (m *Metrics) Snapshot(cache CacheStats) Snapshot {
+func (m *Metrics) Snapshot(cache CacheStats, sweeps sweep.ManagerStats) Snapshot {
 	out := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Cache:         cache,
+		Sweeps:        sweeps,
 	}
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {

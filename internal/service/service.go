@@ -12,6 +12,11 @@
 //	GET  /v1/timeline?n=&f=&x=[&faulty=&tmax=...]       event log of one search
 //	GET  /v1/lowerbound?n=&f=                           pair-level closed-form bounds
 //	POST /v1/batch                                      many queries in one request
+//	POST   /v1/sweeps                                   submit a background parameter sweep
+//	GET    /v1/sweeps                                   list sweep jobs
+//	GET    /v1/sweeps/{id}                              job status and progress
+//	GET    /v1/sweeps/{id}/result                       finished job's dataset
+//	DELETE /v1/sweeps/{id}                              cancel a job
 //	GET  /healthz                                       liveness probe
 //	GET  /metrics                                       expvar-style JSON counters
 //
@@ -26,6 +31,8 @@ import (
 	"net/http"
 	"runtime"
 	"time"
+
+	"linesearch/internal/sweep"
 )
 
 // Config tunes the service. The zero value gets sensible defaults.
@@ -46,6 +53,11 @@ type Config struct {
 	Logger *slog.Logger
 	// Build overrides plan construction (tests only).
 	Build BuildFunc
+	// Sweeps is the background sweep-job manager. When nil, New creates
+	// one with sweep defaults (checkpoints and datasets under
+	// "data/sweeps"); nothing touches the disk until the first
+	// submission.
+	Sweeps *sweep.Manager
 }
 
 // Service is the linesearchd request handler set. Create with New;
@@ -55,12 +67,14 @@ type Service struct {
 	cache   *PlanCache
 	metrics *Metrics
 	logger  *slog.Logger
+	sweeps  *sweep.Manager
 }
 
 // endpointNames are the metric keys, one per route.
 var endpointNames = []string{
 	"/v1/plan", "/v1/searchtime", "/v1/timeline", "/v1/lowerbound",
-	"/v1/batch", "/healthz", "/metrics",
+	"/v1/batch", "/v1/sweeps", "/v1/sweeps/{id}", "/v1/sweeps/{id}/result",
+	"/healthz", "/metrics",
 }
 
 // New builds a Service from cfg, applying defaults for zero fields.
@@ -80,16 +94,28 @@ func New(cfg Config) *Service {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Sweeps == nil {
+		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger})
+	}
 	return &Service{
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.CacheSize, cfg.Build),
 		metrics: NewMetrics(endpointNames...),
 		logger:  cfg.Logger,
+		sweeps:  cfg.Sweeps,
 	}
 }
 
 // Cache exposes the plan cache (stats are also on /metrics).
 func (s *Service) Cache() *PlanCache { return s.cache }
+
+// Sweeps exposes the sweep-job manager (for shutdown and tests).
+func (s *Service) Sweeps() *sweep.Manager { return s.sweeps }
+
+// Close shuts the background job engine down: running sweeps are
+// cancelled cooperatively and checkpointed so a restarted daemon
+// resumes them.
+func (s *Service) Close() { s.sweeps.Close() }
 
 // Handler returns the full route set wired with metrics, access
 // logging, panic recovery and the request timeout.
@@ -100,6 +126,11 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /v1/timeline", s.instrument("/v1/timeline", s.handleQuery(OpTimeline)))
 	mux.Handle("GET /v1/lowerbound", s.instrument("/v1/lowerbound", s.handleQuery(OpLowerBound)))
 	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", http.HandlerFunc(s.handleBatch)))
+	mux.Handle("POST /v1/sweeps", s.instrument("/v1/sweeps", http.HandlerFunc(s.handleSweepSubmit)))
+	mux.Handle("GET /v1/sweeps", s.instrument("/v1/sweeps", http.HandlerFunc(s.handleSweepList)))
+	mux.Handle("GET /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", http.HandlerFunc(s.handleSweepStatus)))
+	mux.Handle("GET /v1/sweeps/{id}/result", s.instrument("/v1/sweeps/{id}/result", http.HandlerFunc(s.handleSweepResult)))
+	mux.Handle("DELETE /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", http.HandlerFunc(s.handleSweepCancel)))
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"linesearch/internal/numeric"
@@ -60,6 +61,44 @@ func TestParseCone(t *testing.T) {
 	}
 	if _, err := Parse("cone:1"); err == nil {
 		t.Error("Parse(cone:1) succeeded (beta must exceed 1)")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	// Every rejection must name the offending input (or value) and say
+	// what a valid one looks like — these strings reach CLI users and
+	// HTTP clients verbatim.
+	cases := []struct {
+		name    string
+		input   string
+		wantErr []string // substrings the error must contain
+	}{
+		{"empty slope", "cone:", []string{`invalid cone slope ""`}},
+		{"non-numeric slope", "cone:abc", []string{`invalid cone slope "abc"`}},
+		{"nan slope", "cone:NaN", []string{"cone slope must be finite and exceed 1", "NaN"}},
+		{"infinite slope", "cone:+Inf", []string{"cone slope must be finite and exceed 1", "+Inf"}},
+		{"slope at boundary", "cone:1.0", []string{"cone slope must be finite and exceed 1", "got 1"}},
+		{"slope below boundary", "cone:0.5", []string{"cone slope must be finite and exceed 1", "got 0.5"}},
+		{"negative slope", "cone:-3", []string{"cone slope must be finite and exceed 1", "got -3"}},
+		{"uniform empty slope", "uniform:", []string{`invalid cone slope ""`}},
+		{"uniform bad slope", "uniform:0.9", []string{"cone slope must be finite and exceed 1", "got 0.9"}},
+		{"unknown name", "zigzag", []string{`unknown strategy "zigzag"`, "cone:<beta>"}},
+		{"empty name", "", []string{`unknown strategy ""`}},
+		{"case sensitive", "Cone:2.5", []string{`unknown strategy "Cone:2.5"`}},
+		{"trailing junk", "cone:2.5x", []string{`invalid cone slope "2.5x"`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse(tc.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %#v, want error", tc.input, s)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("Parse(%q) error = %q, missing %q", tc.input, err, want)
+				}
+			}
+		})
 	}
 }
 

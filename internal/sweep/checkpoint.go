@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// checkpointVersion guards the on-disk layout; bump on incompatible
+// changes so stale files are ignored instead of misread.
+const checkpointVersion = 1
+
+// Checkpoint is the durable snapshot of a job: the normalised spec (so
+// a bare checkpoint file is self-describing) and every completed cell.
+// It is written atomically (temp file + rename) on a cell-count cadence
+// and at every terminal state, and read back on submit to skip
+// completed cells.
+type Checkpoint struct {
+	Version   int       `json:"version"`
+	ID        string    `json:"id"`
+	SpecHash  string    `json:"spec_hash"`
+	Spec      Spec      `json:"spec"`
+	Cells     []Cell    `json:"cells"`
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// checkpointPath returns the checkpoint file for a job ID.
+func checkpointPath(dir, id string) string {
+	return filepath.Join(dir, id+".checkpoint.json")
+}
+
+// writeCheckpoint atomically persists a checkpoint, creating dir if
+// needed. Cells are sorted by index so the file is deterministic for a
+// given completed set.
+func writeCheckpoint(dir string, cp Checkpoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: checkpoint dir: %w", err)
+	}
+	sort.Slice(cp.Cells, func(i, j int) bool { return cp.Cells[i].Index < cp.Cells[j].Index })
+	cp.Version = checkpointVersion
+	cp.UpdatedAt = time.Now().UTC()
+	blob, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
+	}
+	path := checkpointPath(dir, cp.ID)
+	tmp, err := os.CreateTemp(dir, cp.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(blob, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: write checkpoint: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads the checkpoint for (dir, id). A missing file is
+// (nil, nil): a fresh job. A present but unreadable, version-skewed or
+// hash-mismatched file is an error — silently recomputing could mask
+// data corruption the operator should see.
+func readCheckpoint(dir, id, wantHash string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(checkpointPath(dir, id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return nil, fmt.Errorf("sweep: decode checkpoint %s: %w", id, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("sweep: checkpoint %s has version %d, want %d", id, cp.Version, checkpointVersion)
+	}
+	if cp.SpecHash != wantHash {
+		return nil, fmt.Errorf("sweep: checkpoint %s was written for a different spec (hash %.12s, want %.12s)", id, cp.SpecHash, wantHash)
+	}
+	return &cp, nil
+}
+
+// removeCheckpoint deletes a job's checkpoint file (missing is fine).
+func removeCheckpoint(dir, id string) error {
+	err := os.Remove(checkpointPath(dir, id))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}

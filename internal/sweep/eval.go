@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"context"
+	"math"
+
+	"linesearch/internal/analysis"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+)
+
+// Cell is one completed grid cell. Cells that fail (an infeasible pair,
+// an out-of-regime strategy) carry Err and nil measurements; they count
+// toward progress and are collected without failing the job. Float
+// fields that can be undefined are pointers so checkpoints and results
+// stay valid JSON (encoding/json has no NaN).
+type Cell struct {
+	Index      int    `json:"index"`
+	N          int    `json:"n"`
+	F          int    `json:"f"`
+	Strategy   string `json:"strategy"`
+	StrategyID int    `json:"strategy_id"`
+	// Resolved is the concrete strategy a cell ran ("auto" resolves per
+	// pair); equal to Strategy otherwise.
+	Resolved string `json:"resolved,omitempty"`
+	// Beta is the cone slope of the realised schedule when it has one.
+	Beta *float64 `json:"beta,omitempty"`
+	// EmpiricalCR is the measured competitive ratio sup SearchTime(x)/|x|.
+	EmpiricalCR *float64 `json:"empirical_cr,omitempty"`
+	// AnalyticCR is the closed-form competitive ratio when one is known.
+	AnalyticCR *float64 `json:"analytic_cr,omitempty"`
+	// AbsError is |EmpiricalCR - AnalyticCR| when both are defined.
+	AbsError *float64 `json:"abs_error,omitempty"`
+	// ArgX is a target position witnessing the empirical supremum.
+	ArgX float64 `json:"arg_x,omitempty"`
+	// Candidates is the number of target positions evaluated.
+	Candidates int `json:"candidates,omitempty"`
+	// Err is the cell's failure message, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// OK reports whether the cell produced a measurement.
+func (c Cell) OK() bool { return c.Err == "" }
+
+// EvalFunc computes one grid cell. The production evaluator is
+// EvalCell; tests substitute instrumented ones. Implementations must be
+// safe for concurrent use and should return quickly once ctx is
+// cancelled (the engine additionally stops dispatching new cells).
+type EvalFunc func(ctx context.Context, p CellParams) Cell
+
+// failedCell returns the error-carrying cell for p.
+func failedCell(p CellParams, err error) Cell {
+	return Cell{Index: p.Index, N: p.N, F: p.F, Strategy: p.Strategy,
+		StrategyID: p.StrategyID, Err: err.Error()}
+}
+
+// EvalCell is the production evaluator: resolve the strategy, realise
+// its plan, measure the empirical competitive ratio over the spec's
+// target range, and cross-check against the strategy's closed form.
+func EvalCell(ctx context.Context, p CellParams) Cell {
+	st, err := resolveStrategy(p.Strategy, p.N, p.F)
+	if err != nil {
+		return failedCell(p, err)
+	}
+	plan, err := sim.FromStrategy(st, p.N, p.F)
+	if err != nil {
+		return failedCell(p, err)
+	}
+	if ctx.Err() != nil {
+		return failedCell(p, ctx.Err())
+	}
+	res, err := plan.EmpiricalCR(sim.CROptions{
+		XMin:       p.XMin,
+		XMax:       p.XMax,
+		GridPoints: p.GridPoints,
+		Eps:        p.Eps,
+		// Cells are the unit of parallelism; one worker per cell.
+		Parallelism: 1,
+	})
+	if err != nil {
+		return failedCell(p, err)
+	}
+
+	cell := Cell{
+		Index:      p.Index,
+		N:          p.N,
+		F:          p.F,
+		Strategy:   p.Strategy,
+		StrategyID: p.StrategyID,
+		Resolved:   st.Name(),
+		Beta:       coneSlope(st, p.N, p.F),
+		ArgX:       res.ArgX,
+		Candidates: res.Candidates,
+	}
+	if !math.IsNaN(res.Sup) && !math.IsInf(res.Sup, 0) {
+		cell.EmpiricalCR = &res.Sup
+	}
+	if cr, ok := st.AnalyticCR(p.N, p.F); ok {
+		cell.AnalyticCR = &cr
+		if cell.EmpiricalCR != nil {
+			diff := math.Abs(*cell.EmpiricalCR - cr)
+			cell.AbsError = &diff
+		}
+	}
+	return cell
+}
+
+// resolveStrategy turns a spec strategy name into a concrete Strategy
+// for the pair (n, f).
+func resolveStrategy(name string, n, f int) (strategy.Strategy, error) {
+	if name == StrategyAuto {
+		return strategy.ForPair(n, f)
+	}
+	return strategy.Parse(name)
+}
+
+// coneSlope returns the cone slope of the realised schedule when the
+// strategy family defines one: the explicit beta of cone/uniform
+// schedules, beta* for A(n, f), 3 for the doubling walk.
+func coneSlope(st strategy.Strategy, n, f int) *float64 {
+	switch s := st.(type) {
+	case strategy.Cone:
+		return &s.Beta
+	case strategy.UniformCone:
+		return &s.Beta
+	case strategy.Proportional:
+		if beta, err := analysis.OptimalBeta(n, f); err == nil {
+			return &beta
+		}
+	case strategy.Doubling:
+		beta := 3.0
+		return &beta
+	}
+	return nil
+}

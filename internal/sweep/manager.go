@@ -1,0 +1,372 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes a Manager. The zero value gets sensible defaults.
+type Config struct {
+	// Dir holds checkpoints (<id>.checkpoint.json) and result datasets
+	// (<id>.csv, <id>.json). Default "data/sweeps".
+	Dir string
+	// Workers bounds the cell-evaluation concurrency of one running job
+	// (default GOMAXPROCS).
+	Workers int
+	// MaxActiveJobs bounds how many jobs execute at once; excess
+	// submissions queue in the pending state (default 2).
+	MaxActiveJobs int
+	// MaxCells rejects grids larger than this at submit (default 100000).
+	MaxCells int
+	// CheckpointEvery is the flush cadence in completed cells (default
+	// 32; 1 checkpoints after every cell).
+	CheckpointEvery int
+	// Logger receives job lifecycle logs (default slog.Default()).
+	Logger *slog.Logger
+	// Eval overrides the cell evaluator (tests only).
+	Eval EvalFunc
+}
+
+// ManagerStats are the job-engine counters exported on /metrics.
+type ManagerStats struct {
+	Submitted     int64 `json:"submitted"`
+	Resumed       int64 `json:"resumed"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	CellsComputed int64 `json:"cells_computed"`
+	CellsResumed  int64 `json:"cells_resumed"`
+	CellErrors    int64 `json:"cell_errors"`
+	// RunningJobs and PendingJobs are point-in-time gauges.
+	RunningJobs int `json:"running_jobs"`
+	PendingJobs int `json:"pending_jobs"`
+}
+
+// Manager owns sweep jobs: submission, slot-bounded execution,
+// checkpoint/resume, cancellation, and result export. Safe for
+// concurrent use.
+type Manager struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	slots  chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for List
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted, resumedJobs, completed, failed, cancelled atomic.Int64
+	cellsComputed, cellsResumed, cellErrors             atomic.Int64
+}
+
+// NewManager returns a Manager with defaults applied. Nothing touches
+// the disk until the first Submit.
+func NewManager(cfg Config) *Manager {
+	if cfg.Dir == "" {
+		cfg.Dir = filepath.Join("data", "sweeps")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxActiveJobs <= 0 {
+		cfg.MaxActiveJobs = 2
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 100000
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 32
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Eval == nil {
+		cfg.Eval = EvalCell
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		slots:  make(chan struct{}, cfg.MaxActiveJobs),
+		jobs:   make(map[string]*Job),
+	}
+}
+
+// Dir returns the manager's checkpoint/result directory.
+func (m *Manager) Dir() string { return m.cfg.Dir }
+
+// Submit validates a spec and starts (or resumes) its job. Submission
+// is idempotent: the job ID derives from the spec, so resubmitting a
+// spec already known to this manager returns the existing job, and
+// resubmitting after a restart resumes from the spec's checkpoint.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cells := spec.CellCount(); cells > m.cfg.MaxCells {
+		return nil, fmt.Errorf("sweep: grid of %d cells exceeds the limit %d", cells, m.cfg.MaxCells)
+	}
+	id := spec.JobID()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("sweep: manager is shut down")
+	}
+	if j, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		return j, nil
+	}
+	m.mu.Unlock()
+
+	// Read the checkpoint outside the lock; this can hit the disk.
+	cp, err := readCheckpoint(m.cfg.Dir, id, spec.Hash())
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("sweep: manager is shut down")
+	}
+	if j, ok := m.jobs[id]; ok {
+		// A racing submit of the same spec won; reuse its job.
+		return j, nil
+	}
+	j := newJob(m.ctx, spec, cp)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.submitted.Add(1)
+	if j.resumed > 0 {
+		m.resumedJobs.Add(1)
+		m.cellsResumed.Add(int64(j.resumed))
+	}
+	m.wg.Add(1)
+	go m.runJob(j)
+	m.cfg.Logger.Info("sweep submitted", "job", id, "name", spec.Name,
+		"cells", len(j.cells), "resumed", j.resumed)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.Cancel()
+	return true
+}
+
+// Close cancels every job, waits for them to checkpoint and exit, and
+// rejects further submissions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Stats snapshots the counters and gauges.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{
+		Submitted:     m.submitted.Load(),
+		Resumed:       m.resumedJobs.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Cancelled:     m.cancelled.Load(),
+		CellsComputed: m.cellsComputed.Load(),
+		CellsResumed:  m.cellsResumed.Load(),
+		CellErrors:    m.cellErrors.Load(),
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateRunning:
+			st.RunningJobs++
+		case StatePending:
+			st.PendingJobs++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// runJob drives one job to a terminal state: wait for a slot, fan the
+// pending cells over the worker pool, checkpoint on a cadence, and
+// export datasets on completion.
+func (m *Manager) runJob(j *Job) {
+	defer m.wg.Done()
+
+	select {
+	case m.slots <- struct{}{}:
+		defer func() { <-m.slots }()
+	case <-j.ctx.Done():
+		m.finalize(j, true)
+		return
+	}
+	j.setRunning()
+
+	pending := j.pendingCells()
+	feed := make(chan CellParams)
+	out := make(chan Cell)
+	workers := m.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range feed {
+				out <- m.evalSafely(j.ctx, p)
+			}
+		}()
+	}
+	go func() {
+		defer close(feed)
+		for _, p := range pending {
+			select {
+			case feed <- p:
+			case <-j.ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	sinceFlush := 0
+	for cell := range out {
+		if !cell.OK() {
+			m.cellErrors.Add(1)
+		}
+		m.cellsComputed.Add(1)
+		j.record(cell)
+		sinceFlush++
+		if sinceFlush >= m.cfg.CheckpointEvery {
+			sinceFlush = 0
+			if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+				m.cfg.Logger.Error("sweep checkpoint failed", "job", j.id, "err", err)
+			}
+		}
+	}
+	m.finalize(j, j.ctx.Err() != nil)
+}
+
+// evalSafely runs the evaluator, converting a panic into a cell error
+// so one pathological cell cannot take down the daemon.
+func (m *Manager) evalSafely(ctx context.Context, p CellParams) (cell Cell) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.cfg.Logger.Error("sweep cell panicked", "cell", p.Index, "panic", v)
+			cell = failedCell(p, fmt.Errorf("panic: %v", v))
+		}
+	}()
+	return m.cfg.Eval(ctx, p)
+}
+
+// finalize writes the last checkpoint and moves the job to its terminal
+// state, exporting datasets when every cell completed.
+func (m *Manager) finalize(j *Job, interrupted bool) {
+	if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+		m.cfg.Logger.Error("sweep final checkpoint failed", "job", j.id, "err", err)
+		m.failed.Add(1)
+		j.finish(StateFailed, err, nil)
+		return
+	}
+	if interrupted {
+		m.cancelled.Add(1)
+		st := j.Status()
+		m.cfg.Logger.Info("sweep cancelled", "job", j.id,
+			"done", st.DoneCells, "total", st.TotalCells)
+		j.finish(StateCancelled, nil, nil)
+		return
+	}
+	files, err := m.export(j)
+	if err != nil {
+		m.failed.Add(1)
+		j.finish(StateFailed, err, nil)
+		return
+	}
+	m.completed.Add(1)
+	st := j.Status()
+	m.cfg.Logger.Info("sweep done", "job", j.id, "cells", st.TotalCells,
+		"cell_errors", st.CellErrors, "files", files)
+	j.finish(StateDone, nil, files)
+}
+
+// export writes the job's dataset as CSV and JSON under the manager
+// directory and returns the paths.
+func (m *Manager) export(j *Job) ([]string, error) {
+	d, err := j.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, enc := range []struct {
+		ext   string
+		write func(*os.File) error
+	}{
+		{".csv", func(f *os.File) error { return d.WriteCSV(f) }},
+		{".json", func(f *os.File) error { return d.WriteJSON(f) }},
+	} {
+		path := filepath.Join(m.cfg.Dir, j.id+enc.ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: create %s: %w", path, err)
+		}
+		werr := enc.write(f)
+		cerr := f.Close()
+		if werr != nil {
+			return nil, fmt.Errorf("sweep: write %s: %w", path, werr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("sweep: close %s: %w", path, cerr)
+		}
+		files = append(files, path)
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -1,0 +1,240 @@
+// Package sweep runs large parameter sweeps — cartesian grids over
+// (n, f, strategy, beta) with a shared target range — as resumable
+// background jobs. Each grid cell builds the strategy's plan, measures
+// its empirical competitive ratio with internal/sim, and cross-checks
+// the measurement against the internal/analysis closed form when one
+// exists. Jobs execute on a bounded worker pool, track progress, honour
+// cooperative cancellation, and periodically checkpoint completed cells
+// to disk as JSON so an interrupted daemon resumes where it stopped
+// instead of recomputing. Finished jobs export their cells as CSV and
+// JSON datasets through internal/trace.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"linesearch/internal/strategy"
+)
+
+// StrategyAuto selects the paper's recommended strategy per (n, f)
+// cell: twogroup in the trivial regime, A(n, f) otherwise.
+const StrategyAuto = "auto"
+
+// Spec describes one sweep: the cartesian grid and the target range the
+// empirical competitive ratio is measured over. The grid is
+// strategies x N x F, where the strategy axis is Strategies followed by
+// one "cone:<beta>" entry per value in Betas. Distances are in units of
+// the minimal target distance (the paper's normalisation of 1).
+type Spec struct {
+	// Name labels the exported dataset (default "sweep").
+	Name string `json:"name,omitempty"`
+	// N lists the robot counts of the grid (required, each >= 1).
+	N []int `json:"n"`
+	// F lists the fault budgets of the grid (required, each >= 0).
+	F []int `json:"f"`
+	// Strategies lists strategy names: any name strategy.Parse accepts,
+	// or "auto" for the paper's per-pair recommendation. Default
+	// ["auto"].
+	Strategies []string `json:"strategies,omitempty"`
+	// Betas appends one "cone:<beta>" strategy per value (each > 1).
+	Betas []float64 `json:"betas,omitempty"`
+	// XMin is the smallest target distance measured (default 1).
+	XMin float64 `json:"xmin,omitempty"`
+	// XMax is the largest target distance measured (default 100*XMin).
+	XMax float64 `json:"xmax,omitempty"`
+	// GridPoints is the per-half-line safety grid density of the
+	// empirical CR search (default 64; the turning-point candidates that
+	// actually attain the supremum are always evaluated).
+	GridPoints int `json:"grid_points,omitempty"`
+	// Eps is the relative probe offset past turning points (default
+	// 1e-12, which keeps the measured supremum within ~1e-11 of the
+	// closed form).
+	Eps float64 `json:"eps,omitempty"`
+}
+
+// specDefaults fills zero fields in place.
+func (s *Spec) applyDefaults() {
+	if s.Name == "" {
+		s.Name = "sweep"
+	}
+	if len(s.Strategies) == 0 && len(s.Betas) == 0 {
+		s.Strategies = []string{StrategyAuto}
+	}
+	if s.XMin == 0 {
+		s.XMin = 1
+	}
+	if s.XMax == 0 {
+		s.XMax = 100 * s.XMin
+	}
+	if s.GridPoints == 0 {
+		s.GridPoints = 64
+	}
+	if s.Eps == 0 {
+		s.Eps = 1e-12
+	}
+}
+
+// Validate applies defaults and rejects specs the engine cannot run.
+// It mutates the receiver (filling defaults) so the stored, hashed and
+// checkpointed spec is always the normalised one.
+func (s *Spec) Validate() error {
+	s.applyDefaults()
+	if len(s.N) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one n value")
+	}
+	if len(s.F) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one f value")
+	}
+	for _, n := range s.N {
+		if n < 1 {
+			return fmt.Errorf("sweep: n values must be >= 1, got %d", n)
+		}
+	}
+	for _, f := range s.F {
+		if f < 0 {
+			return fmt.Errorf("sweep: f values must be >= 0, got %d", f)
+		}
+	}
+	for _, name := range s.Strategies {
+		if name == StrategyAuto {
+			continue
+		}
+		if _, err := strategy.Parse(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, beta := range s.Betas {
+		if math.IsNaN(beta) || math.IsInf(beta, 0) || !(beta > 1) {
+			return fmt.Errorf("sweep: beta values must be finite and exceed 1, got %v", beta)
+		}
+	}
+	if math.IsNaN(s.XMin) || math.IsInf(s.XMin, 0) || s.XMin <= 0 {
+		return fmt.Errorf("sweep: xmin must be a positive finite number, got %g", s.XMin)
+	}
+	if math.IsNaN(s.XMax) || math.IsInf(s.XMax, 0) || s.XMax <= s.XMin {
+		return fmt.Errorf("sweep: xmax (%g) must be finite and exceed xmin (%g)", s.XMax, s.XMin)
+	}
+	if s.GridPoints < 2 {
+		return fmt.Errorf("sweep: grid_points must be >= 2, got %d", s.GridPoints)
+	}
+	if s.Eps <= 0 || s.Eps >= 1 {
+		return fmt.Errorf("sweep: eps must be in (0, 1), got %g", s.Eps)
+	}
+	return nil
+}
+
+// StrategyAxis returns the expanded strategy axis: Strategies followed
+// by one cone entry per beta. Cell results reference this list by
+// index (the dataset's strategy_id column).
+func (s Spec) StrategyAxis() []string {
+	axis := make([]string, 0, len(s.Strategies)+len(s.Betas))
+	axis = append(axis, s.Strategies...)
+	for _, beta := range s.Betas {
+		axis = append(axis, fmt.Sprintf("cone:%g", beta))
+	}
+	return axis
+}
+
+// CellCount returns the grid size |strategies| * |N| * |F|.
+func (s Spec) CellCount() int {
+	return len(s.StrategyAxis()) * len(s.N) * len(s.F)
+}
+
+// CellParams identifies one grid cell plus the measurement parameters
+// every cell shares. Index is the cell's position in the canonical
+// enumeration order (strategy-major, then n, then f) and is the resume
+// key in checkpoints.
+type CellParams struct {
+	Index      int
+	N          int
+	F          int
+	Strategy   string
+	StrategyID int
+	XMin       float64
+	XMax       float64
+	GridPoints int
+	Eps        float64
+}
+
+// Cells enumerates the grid in canonical order.
+func (s Spec) Cells() []CellParams {
+	axis := s.StrategyAxis()
+	out := make([]CellParams, 0, s.CellCount())
+	for si, st := range axis {
+		for _, n := range s.N {
+			for _, f := range s.F {
+				out = append(out, CellParams{
+					Index:      len(out),
+					N:          n,
+					F:          f,
+					Strategy:   st,
+					StrategyID: si,
+					XMin:       s.XMin,
+					XMax:       s.XMax,
+					GridPoints: s.GridPoints,
+					Eps:        s.Eps,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Hash returns a stable content hash of the normalised spec. Job IDs
+// derive from it, which is what makes resume work across restarts: the
+// same spec always maps to the same job and checkpoint file.
+func (s Spec) Hash() string {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on a validated value.
+		panic(fmt.Sprintf("sweep: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// JobID returns the deterministic job identifier for the spec.
+func (s Spec) JobID() string {
+	return "sw-" + s.Hash()[:12]
+}
+
+// ParseInts parses a comma-separated integer list ("3,5,7"), the CLI
+// syntax for the N and F axes.
+func ParseInts(raw string) ([]int, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return nil, fmt.Errorf("sweep: invalid integer %q in list %q", p, raw)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list ("2.5,3"), the CLI
+// syntax for the beta axis.
+func ParseFloats(raw string) ([]float64, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &v); err != nil {
+			return nil, fmt.Errorf("sweep: invalid number %q in list %q", p, raw)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
