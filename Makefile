@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check fuzz repro data serve sweep clean
 
 all: build test
 
@@ -16,9 +16,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per paper table/figure plus micro benchmarks.
+# Compiled-kernel benchmarks (cold compile, hot eval, batch sizes
+# 1/100/10000, one sweep cell) with their pre-kernel sim references.
+# Writes the machine-readable report to BENCH_pr3.json; compare against
+# a baseline with `make bench-check` or cmd/benchjson -compare.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/compiled | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+
+# Fail when BENCH_pr3.json regresses allocs/op more than 2x against the
+# checked-in baseline.
+bench-check: bench
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_pr3.json
+
+# One benchmark per paper table/figure plus micro benchmarks.
+bench-paper:
 	$(GO) test -bench . -benchmem .
+
+# Short fuzzing smoke over the public SearchTime entry point.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSearchTime -fuzztime 30s .
 
 # Regenerate every table and figure as text on stdout.
 repro:

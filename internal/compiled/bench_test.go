@@ -1,0 +1,136 @@
+package compiled_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"linesearch/internal/compiled"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+)
+
+// benchPlan is the canonical benchmark subject: the paper's A(5, 2)
+// proportional schedule, a mid-size plan with non-trivial zig-zags.
+func benchPlan(b *testing.B) (*sim.Plan, *compiled.Plan) {
+	b.Helper()
+	plan, err := sim.FromStrategy(strategy.Proportional{}, 5, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := compiled.Compile(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, cp
+}
+
+// benchTargets returns size log-spaced targets in [1, 10^4], sign
+// alternating, sorted ascending — the shape of a CR-curve evaluation.
+func benchTargets(size int) []float64 {
+	xs := make([]float64, size)
+	for i := range xs {
+		x := math.Pow(10, 4*float64(i)/float64(max(size-1, 1)))
+		if i%2 == 1 {
+			x = -x
+		}
+		xs[i] = x
+	}
+	// Ascending order exercises the kernel's hint-reuse fast path the
+	// way sorted curve grids do.
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		if xs[i] > xs[j] {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	return xs
+}
+
+// BenchmarkCompileCold measures plan flattening (the one-time cost paid
+// at Searcher construction).
+func BenchmarkCompileCold(b *testing.B) {
+	plan, _ := benchPlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiled.Compile(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchTimeHot measures one steady-state worst-case query
+// through a held evaluator.
+func BenchmarkSearchTimeHot(b *testing.B) {
+	_, cp := benchPlan(b)
+	e := cp.Evaluator()
+	defer e.Release()
+	xs := benchTargets(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.SearchTime(xs[i%len(xs)]) <= 0 {
+			b.Fatal("bad search time")
+		}
+	}
+}
+
+// BenchmarkCompiledBatch measures EvalMany over sorted curve grids of
+// increasing size; per-op cost should be linear in the batch with zero
+// allocations.
+func BenchmarkCompiledBatch(b *testing.B) {
+	_, cp := benchPlan(b)
+	for _, size := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			e := cp.Evaluator()
+			defer e.Release()
+			xs := benchTargets(size)
+			dst := make([]float64, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = e.EvalMany(xs, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkSimBatch is the pre-kernel reference: the same grids through
+// sim.Plan.SearchTime (per-call visit collection and sorting).
+func BenchmarkSimBatch(b *testing.B) {
+	plan, _ := benchPlan(b)
+	for _, size := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			xs := benchTargets(size)
+			dst := make([]float64, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, x := range xs {
+					dst[j] = plan.SearchTime(x)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepCellCompiled measures one sweep grid cell's CR search
+// through the compiled kernel (the internal/sweep evaluation path).
+func BenchmarkSweepCellCompiled(b *testing.B) {
+	_, cp := benchPlan(b)
+	opts := sim.CROptions{GridPoints: 256, Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.CR(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCellSim is the same cell through sim.EmpiricalCR.
+func BenchmarkSweepCellSim(b *testing.B) {
+	plan, _ := benchPlan(b)
+	opts := sim.CROptions{GridPoints: 256, Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.EmpiricalCR(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package compiled
+
+import (
+	"math"
+	"sync"
+
+	"linesearch/internal/sim"
+)
+
+// CR measures the plan's empirical competitive ratio exactly like
+// sim.Plan.EmpiricalCR — same candidate targets, same deterministic
+// winner — but evaluates every candidate through the compiled kernel:
+// one evaluator (and thus zero allocations) per worker instead of a
+// fresh []Visit and sort per target. This is the sweep engine's and
+// MeasureCR's hot path.
+func (p *Plan) CR(opts sim.CROptions) (sim.CRResult, error) {
+	opts = opts.WithDefaults()
+	candidates, err := p.src.CRCandidates(opts)
+	if err != nil {
+		return sim.CRResult{}, err
+	}
+
+	ratios := make([]float64, len(candidates))
+	workers := opts.Parallelism
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		e := p.evals.get()
+		for i, x := range candidates {
+			ratios[i] = e.SearchTime(x) / math.Abs(x)
+		}
+		p.evals.put(e)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(candidates) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(candidates))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				e := p.evals.get()
+				for i := lo; i < hi; i++ {
+					ratios[i] = e.SearchTime(candidates[i]) / math.Abs(candidates[i])
+				}
+				p.evals.put(e)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	res := sim.CRResult{Sup: math.Inf(-1), Candidates: len(candidates)}
+	for i, r := range ratios {
+		if r > res.Sup {
+			res.Sup = r
+			res.ArgX = candidates[i]
+		}
+	}
+	return res, nil
+}

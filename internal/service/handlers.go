@@ -16,11 +16,16 @@ import (
 // Op names accepted by the batch endpoint; each GET endpoint maps to
 // exactly one op.
 const (
-	OpPlan       = "plan"
-	OpSearchTime = "searchtime"
-	OpTimeline   = "timeline"
-	OpLowerBound = "lowerbound"
+	OpPlan        = "plan"
+	OpSearchTime  = "searchtime"
+	OpSearchTimes = "searchtimes"
+	OpTimeline    = "timeline"
+	OpLowerBound  = "lowerbound"
 )
+
+// maxBatchTargets caps the xs list of one searchtimes query; larger
+// curves should be split across batch items.
+const maxBatchTargets = 10000
 
 // maxHorizonFactor caps timeline and turning-point horizons relative to
 // the schedule's minimal distance: uniform-spacing schedules produce
@@ -41,7 +46,10 @@ type Query struct {
 	Strategy string  `json:"strategy,omitempty"`
 	MinDist  float64 `json:"mindist,omitempty"` // 0 means the default 1
 	X        float64 `json:"x,omitempty"`
-	K        int     `json:"k,omitempty"` // 0 means the worst case f+1
+	// Xs is the target list of a searchtimes query, evaluated in one
+	// pass through the compiled kernel.
+	Xs []float64 `json:"xs,omitempty"`
+	K  int       `json:"k,omitempty"` // 0 means the worst case f+1
 	Faulty   []int   `json:"faulty"`      // nil means the adversarial worst case
 	Tmax     float64 `json:"tmax,omitempty"`
 	Horizon  float64 `json:"horizon,omitempty"`
@@ -105,6 +113,19 @@ type SearchTimeResult struct {
 	Detected bool     `json:"detected"`
 }
 
+// SearchTimesResult answers a searchtimes query: one worst-case
+// detection time per target, evaluated in a single pass through the
+// compiled kernel. Times[i] is null when the plan cannot guarantee
+// detection at Xs[i].
+type SearchTimesResult struct {
+	N        int        `json:"n"`
+	F        int        `json:"f"`
+	Strategy string     `json:"strategy"`
+	Xs       []float64  `json:"xs"`
+	Times    []*float64 `json:"times"`
+	Detected int        `json:"detected"`
+}
+
 // EventResult is one timeline entry in wire format.
 type EventResult struct {
 	T     float64 `json:"t"`
@@ -153,11 +174,11 @@ func finitePtr(v float64) *float64 {
 // hardened linesearch API.
 func (q *Query) normalize() error {
 	switch q.Op {
-	case OpPlan, OpSearchTime, OpTimeline, OpLowerBound:
+	case OpPlan, OpSearchTime, OpSearchTimes, OpTimeline, OpLowerBound:
 	case "":
 		return badRequest("missing op")
 	default:
-		return badRequest("unknown op %q (known: plan, searchtime, timeline, lowerbound)", q.Op)
+		return badRequest("unknown op %q (known: plan, searchtime, searchtimes, timeline, lowerbound)", q.Op)
 	}
 	if q.MinDist == 0 {
 		q.MinDist = 1
@@ -167,6 +188,19 @@ func (q *Query) normalize() error {
 	}
 	if math.IsNaN(q.X) || math.IsInf(q.X, 0) {
 		return badRequest("x must be a finite number, got %g", q.X)
+	}
+	if q.Op == OpSearchTimes {
+		if len(q.Xs) == 0 {
+			return badRequest("searchtimes requires a non-empty xs list")
+		}
+		if len(q.Xs) > maxBatchTargets {
+			return badRequest("xs lists %d targets, the limit is %d", len(q.Xs), maxBatchTargets)
+		}
+		for i, x := range q.Xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return badRequest("xs[%d] must be a finite number, got %g", i, x)
+			}
+		}
 	}
 	for _, h := range []float64{q.Tmax, q.Horizon} {
 		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
@@ -201,6 +235,8 @@ func (s *Service) eval(q Query) (any, error) {
 		return s.evalPlan(q)
 	case OpSearchTime:
 		return s.evalSearchTime(q)
+	case OpSearchTimes:
+		return s.evalSearchTimes(q)
 	case OpTimeline:
 		return s.evalTimeline(q)
 	case OpLowerBound:
@@ -285,6 +321,31 @@ func (s *Service) evalSearchTime(q Query) (any, error) {
 	return res, nil
 }
 
+func (s *Service) evalSearchTimes(q Query) (any, error) {
+	plan, err := s.cache.Get(q.key())
+	if err != nil {
+		return nil, err
+	}
+	times, err := plan.Searcher.SearchTimes(q.Xs)
+	if err != nil {
+		return nil, err
+	}
+	res := SearchTimesResult{
+		N:        q.N,
+		F:        q.F,
+		Strategy: plan.Searcher.Strategy(),
+		Xs:       q.Xs,
+		Times:    make([]*float64, len(times)),
+	}
+	for i, t := range times {
+		res.Times[i] = finitePtr(t)
+		if res.Times[i] != nil {
+			res.Detected++
+		}
+	}
+	return res, nil
+}
+
 func (s *Service) evalTimeline(q Query) (any, error) {
 	plan, err := s.cache.Get(q.key())
 	if err != nil {
@@ -354,10 +415,11 @@ func (s *Service) evalLowerBound(q Query) (any, error) {
 // query string is a 400 (catches typos like "stratgy" that would
 // otherwise be silently ignored).
 var paramSpec = map[string]map[string]bool{
-	OpPlan:       {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true},
-	OpSearchTime: {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true},
-	OpTimeline:   {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true},
-	OpLowerBound: {"n": true, "f": true},
+	OpPlan:        {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true},
+	OpSearchTime:  {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true},
+	OpSearchTimes: {"n": true, "f": true, "strategy": true, "mindist": true, "xs": true},
+	OpTimeline:    {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true},
+	OpLowerBound:  {"n": true, "f": true},
 }
 
 // parseQuery builds a Query for op from URL parameters.
@@ -407,6 +469,14 @@ func parseQuery(op string, v url.Values) (Query, error) {
 			return q, err
 		}
 	}
+	if raw := v.Get("xs"); raw != "" {
+		if q.Xs, err = parseFloatList(raw); err != nil {
+			return q, err
+		}
+	}
+	if op == OpSearchTimes && len(q.Xs) == 0 {
+		return q, badRequest("parameter xs is required for %s", op)
+	}
 	return q, nil
 }
 
@@ -437,6 +507,20 @@ func floatParam(v url.Values, name string, def float64) (float64, error) {
 		return 0, badRequest("parameter %q must be finite, got %q", name, raw)
 	}
 	return f, nil
+}
+
+// parseFloatList parses "1.5,-2,40" into a target list.
+func parseFloatList(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, badRequest("invalid target position %q", p)
+		}
+		out = append(out, x)
+	}
+	return out, nil
 }
 
 // parseIndexList parses "0,2,5" into an index list.

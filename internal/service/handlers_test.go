@@ -130,6 +130,99 @@ func TestSearchTimeEndpoint(t *testing.T) {
 	}
 }
 
+func TestSearchTimesEndpoint(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/searchtimes?n=3&f=1&xs=4,-2.5,1", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	times := body["times"].([]any)
+	if len(times) != 3 {
+		t.Fatalf("%d times, want 3", len(times))
+	}
+	if body["detected"].(float64) != 3 {
+		t.Errorf("detected = %v, want 3", body["detected"])
+	}
+	// Each entry must equal the single-target endpoint's answer.
+	for i, raw := range []string{"4", "-2.5", "1"} {
+		_, single := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&x="+raw, "")
+		want := single["time"].(float64)
+		if got := times[i].(float64); got != want {
+			t.Errorf("times[%d] = %v, want %v (single-target answer)", i, got, want)
+		}
+	}
+	// Echoed targets survive the round trip.
+	xs := body["xs"].([]any)
+	if len(xs) != 3 || xs[1].(float64) != -2.5 {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestSearchTimesValidation(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	for _, tt := range []struct{ name, target string }{
+		{"missing xs", "/v1/searchtimes?n=3&f=1"},
+		{"empty xs", "/v1/searchtimes?n=3&f=1&xs="},
+		{"bad float", "/v1/searchtimes?n=3&f=1&xs=1,zzz"},
+		{"single-target param", "/v1/searchtimes?n=3&f=1&x=4"},
+	} {
+		code, body := doReq(t, h, "GET", tt.target, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", tt.name, code, body)
+		}
+		if body["error"] == nil || body["error"] == "" {
+			t.Errorf("%s: no error message", tt.name)
+		}
+	}
+}
+
+func TestSearchTimesBatchAndLimits(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	req := `{"queries": [
+		{"op": "searchtimes", "n": 3, "f": 1, "xs": [4, 1e9]},
+		{"op": "searchtimes", "n": 3, "f": 1, "xs": []},
+		{"op": "searchtimes", "n": 3, "f": 1}
+	]}`
+	code, body := doReq(t, h, "POST", "/v1/batch", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ok"] != true {
+		t.Fatalf("searchtimes batch item failed: %v", first)
+	}
+	res := first["result"].(map[string]any)
+	if n := len(res["times"].([]any)); n != 2 {
+		t.Errorf("batched searchtimes returned %d times, want 2", n)
+	}
+	for i, r := range results[1:] {
+		item := r.(map[string]any)
+		if item["ok"] != false || item["error"] == nil {
+			t.Errorf("empty-xs batch item %d accepted: %v", i+1, item)
+		}
+	}
+
+	// The per-query target cap is enforced at normalization.
+	big := make([]string, maxBatchTargets+1)
+	for i := range big {
+		big[i] = "1"
+	}
+	over := fmt.Sprintf(`{"queries": [{"op": "searchtimes", "n": 3, "f": 1, "xs": [%s]}]}`,
+		strings.Join(big, ","))
+	code, body = doReq(t, h, "POST", "/v1/batch", over)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	item := body["results"].([]any)[0].(map[string]any)
+	if item["ok"] != false || !strings.Contains(item["error"].(string), "limit") {
+		t.Errorf("over-limit xs accepted: %v", item)
+	}
+}
+
 func TestTimelineEndpoint(t *testing.T) {
 	h := newTestService(t, Config{}).Handler()
 	code, body := doReq(t, h, "GET", "/v1/timeline?n=3&f=1&x=2", "")

@@ -123,6 +123,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/plan", s.instrument("/v1/plan", s.handleQuery(OpPlan)))
 	mux.Handle("GET /v1/searchtime", s.instrument("/v1/searchtime", s.handleQuery(OpSearchTime)))
+	mux.Handle("GET /v1/searchtimes", s.instrument("/v1/searchtimes", s.handleQuery(OpSearchTimes)))
 	mux.Handle("GET /v1/timeline", s.instrument("/v1/timeline", s.handleQuery(OpTimeline)))
 	mux.Handle("GET /v1/lowerbound", s.instrument("/v1/lowerbound", s.handleQuery(OpLowerBound)))
 	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", http.HandlerFunc(s.handleBatch)))

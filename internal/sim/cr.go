@@ -10,7 +10,7 @@ import (
 )
 
 // CROptions tunes the empirical competitive-ratio search. The zero value
-// selects sensible defaults via (*CROptions).withDefaults.
+// selects sensible defaults via (*CROptions).WithDefaults.
 type CROptions struct {
 	// XMin is the minimal target distance (the normalisation of the
 	// competitive ratio). Default 1, matching the paper's assumption.
@@ -33,7 +33,8 @@ type CROptions struct {
 	Parallelism int
 }
 
-func (o CROptions) withDefaults() CROptions {
+// WithDefaults fills zero-valued fields with the documented defaults.
+func (o CROptions) WithDefaults() CROptions {
 	if o.XMin == 0 {
 		o.XMin = 1
 	}
@@ -91,14 +92,10 @@ type CRResult struct {
 // deterministic: the first candidate in generation order achieving the
 // supremum is the witness.
 func (p *Plan) EmpiricalCR(opts CROptions) (CRResult, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
+	opts = opts.WithDefaults()
+	candidates, err := p.CRCandidates(opts)
+	if err != nil {
 		return CRResult{}, err
-	}
-
-	candidates := p.crCandidates(opts)
-	if len(candidates) == 0 {
-		return CRResult{}, fmt.Errorf("sim: no evaluable targets in [%g, %g]", opts.XMin, opts.XMax)
 	}
 
 	ratios := make([]float64, len(candidates))
@@ -143,10 +140,16 @@ func (p *Plan) EmpiricalCR(opts CROptions) (CRResult, error) {
 	return res, nil
 }
 
-// crCandidates generates the deterministic candidate list: just beyond
-// every trajectory corner within range, then the geometric safety grid
-// on both half lines.
-func (p *Plan) crCandidates(opts CROptions) []float64 {
+// CRCandidates generates the deterministic candidate list the
+// competitive-ratio search evaluates: just beyond every trajectory
+// corner within range, then the geometric safety grid on both half
+// lines. Exported so the compiled kernel (internal/compiled) can run
+// the identical search through its allocation-free evaluator.
+func (p *Plan) CRCandidates(opts CROptions) ([]float64, error) {
+	opts = opts.WithDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	var out []float64
 	inRange := func(x float64) bool {
 		a := math.Abs(x)
@@ -165,7 +168,10 @@ func (p *Plan) crCandidates(opts CROptions) []float64 {
 			out = append(out, -x)
 		}
 	}
-	return out
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: no evaluable targets in [%g, %g]", opts.XMin, opts.XMax)
+	}
+	return out, nil
 }
 
 // cornerPositions collects the positions of every trajectory corner

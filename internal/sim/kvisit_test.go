@@ -75,3 +75,18 @@ func TestWithFaultBudget(t *testing.T) {
 		t.Error("f = n accepted")
 	}
 }
+
+// TestKthDistinctVisitValidatesKFirst pins the evaluation order: an
+// out-of-range k is rejected before any trajectory is queried, so even
+// an undefined target position cannot mask the error.
+func TestKthDistinctVisitValidatesKFirst(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 3, 1)
+	for _, x := range []float64{2, math.NaN(), math.Inf(1)} {
+		if _, err := p.KthDistinctVisit(x, 4); err == nil {
+			t.Errorf("x=%v: k > n accepted", x)
+		}
+		if _, err := p.KthDistinctVisit(x, 0); err == nil {
+			t.Errorf("x=%v: k = 0 accepted", x)
+		}
+	}
+}

@@ -82,6 +82,11 @@ func (p *Plan) FirstVisits(x float64) []Visit {
 			visits = append(visits, Visit{Robot: i, T: t})
 		}
 	}
+	if len(visits) < 2 {
+		// Nothing to order (in particular every n == 1 plan): skip the
+		// sort and its closure allocation.
+		return visits
+	}
 	sort.Slice(visits, func(a, b int) bool {
 		if visits[a].T != visits[b].T {
 			return visits[a].T < visits[b].T
@@ -95,6 +100,8 @@ func (p *Plan) FirstVisits(x float64) []Visit {
 // visit to x (+Inf if fewer than k robots ever visit). SearchTime(x) is
 // KthDistinctVisit(x, f+1).
 func (p *Plan) KthDistinctVisit(x float64, k int) (float64, error) {
+	// Validate k before any trajectory queries: an out-of-range k must
+	// not pay for (or be masked by) n first-visit computations.
 	if k < 1 || k > len(p.trajs) {
 		return 0, fmt.Errorf("sim: visitor index k=%d out of range [1, %d]", k, len(p.trajs))
 	}

@@ -201,3 +201,21 @@ func TestFromStrategyPropagatesBuildErrors(t *testing.T) {
 		t.Error("invalid regime accepted")
 	}
 }
+
+// TestFirstVisitsSingleRobot covers the n == 1 fast path: the single
+// visit comes back as-is (no sort), and a never-visited target yields
+// an empty list rather than a nil-deref or a spurious entry.
+func TestFirstVisitsSingleRobot(t *testing.T) {
+	tr := trajectory.Must(nil, trajectory.MustRay(geom.Point{X: 0, T: 0}, trajectory.Right))
+	p, err := NewPlan([]*trajectory.Trajectory{tr}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := p.FirstVisits(3)
+	if len(visits) != 1 || visits[0].Robot != 0 || visits[0].T != 3 {
+		t.Errorf("FirstVisits(3) = %v, want [{0 3}]", visits)
+	}
+	if got := p.FirstVisits(-1); len(got) != 0 {
+		t.Errorf("FirstVisits(-1) = %v, want empty", got)
+	}
+}

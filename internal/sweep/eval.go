@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"linesearch/internal/analysis"
+	"linesearch/internal/compiled"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
 )
@@ -55,8 +56,10 @@ func failedCell(p CellParams, err error) Cell {
 }
 
 // EvalCell is the production evaluator: resolve the strategy, realise
-// its plan, measure the empirical competitive ratio over the spec's
-// target range, and cross-check against the strategy's closed form.
+// its plan, compile it, measure the empirical competitive ratio over
+// the spec's target range through the compiled kernel (identical
+// candidates and result as sim.EmpiricalCR, no per-target allocation),
+// and cross-check against the strategy's closed form.
 func EvalCell(ctx context.Context, p CellParams) Cell {
 	st, err := resolveStrategy(p.Strategy, p.N, p.F)
 	if err != nil {
@@ -66,10 +69,14 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 	if err != nil {
 		return failedCell(p, err)
 	}
+	kernel, err := compiled.Compile(plan)
+	if err != nil {
+		return failedCell(p, err)
+	}
 	if ctx.Err() != nil {
 		return failedCell(p, ctx.Err())
 	}
-	res, err := plan.EmpiricalCR(sim.CROptions{
+	res, err := kernel.CR(sim.CROptions{
 		XMin:       p.XMin,
 		XMax:       p.XMax,
 		GridPoints: p.GridPoints,

@@ -27,6 +27,7 @@ import (
 
 	"linesearch/internal/adversary"
 	"linesearch/internal/analysis"
+	"linesearch/internal/compiled"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
 )
@@ -34,11 +35,19 @@ import (
 // Searcher is an evaluatable search plan for n robots with up to f
 // faults. Create one with New or NewWithStrategy. A Searcher is
 // immutable and safe for concurrent use.
+//
+// At construction the plan is compiled (internal/compiled): every
+// trajectory is flattened into binary-searchable turning-point arrays,
+// and all visit-time queries — SearchTime, KthVisitTime, SearchTimes,
+// MeasureCR — run through that allocation-free kernel. The exact
+// closed-form engine (internal/sim) remains the reference for event
+// timelines, fault analysis and the differential tests.
 type Searcher struct {
 	n, f        int
 	minDistance float64
 	st          strategy.Strategy
 	plan        *sim.Plan
+	kernel      *compiled.Plan
 }
 
 // New returns the paper's recommended searcher for (n, f): the two-group
@@ -69,7 +78,11 @@ func newSearcher(st strategy.Strategy, n, f int) (*Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{n: n, f: f, minDistance: 1, st: st, plan: plan}, nil
+	kernel, err := compiled.Compile(plan)
+	if err != nil {
+		return nil, fmt.Errorf("linesearch: compiling %s(%d, %d): %w", st.Name(), n, f, err)
+	}
+	return &Searcher{n: n, f: f, minDistance: 1, st: st, plan: plan, kernel: kernel}, nil
 }
 
 // N returns the number of robots.
@@ -95,7 +108,22 @@ func (s *Searcher) SearchTime(x float64) (float64, error) {
 	if err := s.checkTarget(x); err != nil {
 		return 0, err
 	}
-	return s.plan.SearchTime(x), nil
+	return s.kernel.SearchTime(x), nil
+}
+
+// SearchTimes evaluates SearchTime for every target in xs in one pass
+// through the compiled kernel, sharing one scratch buffer across the
+// whole batch. Sorted inputs additionally reuse each robot's previous
+// segment index between consecutive targets. Every target must satisfy
+// the same domain checks as SearchTime; the first invalid target fails
+// the batch.
+func (s *Searcher) SearchTimes(xs []float64) ([]float64, error) {
+	for _, x := range xs {
+		if err := s.checkTarget(x); err != nil {
+			return nil, err
+		}
+	}
+	return s.kernel.EvalMany(xs, nil), nil
 }
 
 // KthVisitTime returns the time at which the k-th distinct robot first
@@ -106,7 +134,7 @@ func (s *Searcher) KthVisitTime(x float64, k int) (float64, error) {
 	if err := s.checkTarget(x); err != nil {
 		return 0, err
 	}
-	return s.plan.KthDistinctVisit(x, k)
+	return s.kernel.KthDistinctVisit(x, k)
 }
 
 // checkTarget rejects target positions outside the plan's domain: the
@@ -215,7 +243,7 @@ func (s *Searcher) CompetitiveRatio() (float64, error) {
 // MinDistance <= |x| <= 1e4 * MinDistance. It returns the supremum and a
 // witness target position.
 func (s *Searcher) MeasureCR() (sup, witness float64, err error) {
-	res, err := s.plan.EmpiricalCR(sim.CROptions{XMin: s.minDistance})
+	res, err := s.kernel.CR(sim.CROptions{XMin: s.minDistance})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -2,6 +2,7 @@ package linesearch
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -392,4 +393,98 @@ func TestPackageLevelConvenience(t *testing.T) {
 	if err != nil || !math.IsInf(inf, 1) {
 		t.Errorf("CompetitiveRatio(2,3) = %v, %v", inf, err)
 	}
+}
+
+// TestKthVisitTimeProperties checks two invariants across every
+// strategy family: T_k(x) is non-decreasing in k (a later distinct
+// visitor cannot arrive earlier), and the worst-case search time is
+// exactly the (f+1)-st distinct visit.
+func TestKthVisitTimeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	strategies := []string{"proportional", "doubling", "twogroup", "cone:2.5", "cone:4", "uniform:3"}
+	pairs := []struct{ n, f int }{{1, 0}, {3, 1}, {4, 2}, {5, 2}, {6, 2}, {8, 3}, {9, 4}}
+	evaluated := 0
+	for _, name := range strategies {
+		for _, p := range pairs {
+			s, err := NewWithStrategy(name, p.n, p.f)
+			if err != nil {
+				continue // strategy not defined in this regime
+			}
+			for i := 0; i < 25; i++ {
+				x := math.Pow(10, 3*rng.Float64())
+				if rng.Intn(2) == 0 {
+					x = -x
+				}
+				prev := math.Inf(-1)
+				for k := 1; k <= p.n; k++ {
+					tk, err := s.KthVisitTime(x, k)
+					if err != nil {
+						t.Fatalf("%s(%d,%d) x=%g k=%d: %v", name, p.n, p.f, x, k, err)
+					}
+					if tk < prev {
+						t.Errorf("%s(%d,%d) x=%g: T_%d = %v < T_%d = %v",
+							name, p.n, p.f, x, k, tk, k-1, prev)
+					}
+					prev = tk
+				}
+				worst, err := s.SearchTime(x)
+				if err != nil {
+					t.Fatalf("%s(%d,%d) x=%g: %v", name, p.n, p.f, x, err)
+				}
+				kth, err := s.KthVisitTime(x, p.f+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if worst != kth && !(math.IsInf(worst, 1) && math.IsInf(kth, 1)) {
+					t.Errorf("%s(%d,%d) x=%g: SearchTime %v != KthVisitTime(x, f+1) %v",
+						name, p.n, p.f, x, worst, kth)
+				}
+				evaluated++
+			}
+		}
+	}
+	if evaluated == 0 {
+		t.Fatal("no (strategy, n, f) case was evaluable")
+	}
+}
+
+// FuzzSearchTime exercises the public entry point and the compiled
+// kernel against arbitrary (n, f, strategy, x): construction and
+// evaluation must never panic, any successful answer must respect the
+// unit-speed bound t >= |x|, and the kernel must agree with the direct
+// trajectory evaluation in internal/sim.
+func FuzzSearchTime(fz *testing.F) {
+	strategies := []string{"proportional", "doubling", "twogroup", "cone:2.5", "uniform:3"}
+	fz.Add(uint8(3), uint8(1), uint8(0), 4.0)
+	fz.Add(uint8(6), uint8(2), uint8(2), -7.5)
+	fz.Add(uint8(4), uint8(2), uint8(1), 1e6)
+	fz.Add(uint8(1), uint8(0), uint8(1), -1.0)
+	fz.Add(uint8(9), uint8(4), uint8(3), 123.456)
+	fz.Fuzz(func(t *testing.T, n, faults, si uint8, x float64) {
+		if n > 32 {
+			return // keep per-input cost bounded; width is not the interesting axis
+		}
+		s, err := NewWithStrategy(strategies[int(si)%len(strategies)], int(n), int(faults))
+		if err != nil {
+			return // invalid pair or out-of-regime strategy
+		}
+		got, err := s.SearchTime(x)
+		if err != nil {
+			return // target outside the plan's domain
+		}
+		if !math.IsInf(got, 1) && got < math.Abs(x)-1e-9 {
+			t.Errorf("SearchTime(%g) = %v beats the unit-speed bound %v", x, got, math.Abs(x))
+		}
+		want := s.plan.SearchTime(x)
+		if math.IsInf(got, 1) != math.IsInf(want, 1) {
+			t.Fatalf("SearchTime(%g): kernel %v, sim %v", x, got, want)
+		}
+		if !math.IsInf(got, 1) {
+			scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+			if math.Abs(got-want)/scale > 1e-9 {
+				t.Errorf("SearchTime(%g): kernel %v, sim %v (rel err %g)",
+					x, got, want, math.Abs(got-want)/scale)
+			}
+		}
+	})
 }
