@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check chaos fuzz repro data serve sweep clean
 
 all: build test
 
@@ -28,6 +28,13 @@ bench:
 # checked-in baseline.
 bench-check: bench
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_pr3.json
+
+# Fault-injection chaos suite under the race detector: 24 deterministic
+# schedules, the kill-and-resume torture test, and a randomized-seed
+# soak (seeds are logged, so failures replay deterministically).
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|KillAndResume|FaultInjection|FaultPoint' \
+		./internal/sweep ./internal/faultpoint -chaos.soak=45s
 
 # One benchmark per paper table/figure plus micro benchmarks.
 bench-paper:

@@ -131,6 +131,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	if requestTimeout > 0 {
+		// A slow-reading or slow-writing client must not hold a
+		// connection much past the request budget: give the full body
+		// read and the response write the budget plus slack, so the
+		// in-handler timeout (which produces the clean 503 body) always
+		// fires first.
+		srv.ReadTimeout = requestTimeout + 5*time.Second
+		srv.WriteTimeout = requestTimeout + 5*time.Second
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Admission classes: every route belongs to exactly one, and each class
+// has its own in-flight bound so one saturated workload (a storm of
+// batch requests, a sweep-status poller gone wild) cannot starve the
+// others. healthz and metrics are never limited — an overloaded daemon
+// must still answer its probes.
+const (
+	classQuery  = "query"  // the cheap GET evaluation endpoints
+	classBatch  = "batch"  // POST /v1/batch (bounded worker pool inside)
+	classSweeps = "sweeps" // the sweep job API
+)
+
+// classLimiter bounds the in-flight requests of one admission class.
+// Admission is non-blocking: a full class sheds the request immediately
+// with a 429 rather than queueing it into the request timeout.
+type classLimiter struct {
+	name     string
+	slots    chan struct{} // nil means unlimited
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+// newClassLimiter returns a limiter admitting up to limit concurrent
+// requests; limit < 1 means unlimited.
+func newClassLimiter(name string, limit int) *classLimiter {
+	l := &classLimiter{name: name}
+	if limit > 0 {
+		l.slots = make(chan struct{}, limit)
+	}
+	return l
+}
+
+// tryAcquire claims a slot without blocking; false means shed.
+func (l *classLimiter) tryAcquire() bool {
+	if l.slots != nil {
+		select {
+		case l.slots <- struct{}{}:
+		default:
+			l.shed.Add(1)
+			return false
+		}
+	}
+	l.inflight.Add(1)
+	return true
+}
+
+// release returns the slot claimed by a successful tryAcquire.
+func (l *classLimiter) release() {
+	l.inflight.Add(-1)
+	if l.slots != nil {
+		<-l.slots
+	}
+}
+
+// admit wraps a handler with the class's in-flight bound. Shed requests
+// get a 429 with Retry-After and never reach the handler.
+func (s *Service) admit(class string, next http.Handler) http.Handler {
+	lim := s.limiters[class]
+	if lim == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !lim.tryAcquire() {
+			s.writeError(w, http.StatusTooManyRequests,
+				"server is at its in-flight limit for "+class+" requests, retry shortly")
+			return
+		}
+		defer lim.release()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"linesearch"
+	"linesearch/internal/faultpoint"
 )
 
 // PlanKey identifies a constructed search plan: everything that goes
@@ -43,6 +44,9 @@ type BuildFunc func(PlanKey) (*Plan, error)
 
 // defaultBuild is the production builder.
 func defaultBuild(k PlanKey) (*Plan, error) {
+	if err := faultpoint.Hit(fpServiceBuild); err != nil {
+		return nil, err
+	}
 	opts := []linesearch.Option{linesearch.WithMinDistance(k.MinDist)}
 	if k.Strategy != "" {
 		opts = append(opts, linesearch.WithStrategy(k.Strategy))

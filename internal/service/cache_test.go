@@ -206,3 +206,59 @@ func TestCacheInflightDedup(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+// TestCacheInflightDedupBuildError: a thundering herd on a cold key
+// whose build fails gets exactly one build, every waiter receives the
+// error, nothing is cached (the error does not poison the key), and
+// the next Get rebuilds.
+func TestCacheInflightDedupBuildError(t *testing.T) {
+	var builds atomic.Int64
+	release := make(chan struct{})
+	boom := errors.New("transient backend failure")
+	c := NewPlanCache(4, func(k PlanKey) (*Plan, error) {
+		builds.Add(1)
+		if builds.Load() == 1 {
+			<-release // hold the failing build so the herd piles up
+			return nil, boom
+		}
+		return defaultBuild(k)
+	})
+
+	const herd = 16
+	errs := make([]error, herd)
+	var wg sync.WaitGroup
+	wg.Add(herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Get(key(3, 1))
+		}(i)
+	}
+	for c.Stats().InflightWaits < herd-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want exactly 1", builds.Load())
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("goroutine %d got %v, want the build error", i, err)
+		}
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("failed build was cached: size %d", st.Size)
+	}
+	// The key is not poisoned: the next Get rebuilds and succeeds.
+	if _, err := c.Get(key(3, 1)); err != nil {
+		t.Fatalf("rebuild after failure: %v", err)
+	}
+	if builds.Load() != 2 {
+		t.Errorf("builds = %d after retry, want 2", builds.Load())
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Errorf("size = %d after successful rebuild, want 1", st.Size)
+	}
+}

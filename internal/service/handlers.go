@@ -11,6 +11,15 @@ import (
 	"strings"
 
 	"linesearch"
+	"linesearch/internal/faultpoint"
+)
+
+// Service-layer fault points: the head of the shared evaluation path
+// and the expensive plan construction (see cache.go). Chaos tests arm
+// them to prove shed/503 behavior without breaking real evaluations.
+const (
+	fpServiceEval  = "service.eval"
+	fpServiceBuild = "service.build"
 )
 
 // Op names accepted by the batch endpoint; each GET endpoint maps to
@@ -67,12 +76,18 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// statusOf maps an evaluation error to an HTTP status. Everything a
-// query can make the library reject is the client's fault.
+// statusOf maps an evaluation error to an HTTP status. Transient
+// failures (injected faults, and any evaluator error that opts into the
+// Transient() contract) are the server's fault and map to a 503 the
+// client should retry; everything else a query can make the library
+// reject is the client's fault.
 func statusOf(err error) int {
 	var ae *apiError
 	if errors.As(err, &ae) {
 		return ae.status
+	}
+	if faultpoint.IsTransient(err) {
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }
@@ -228,6 +243,9 @@ func (q Query) key() PlanKey {
 // the GET endpoints and the batch fan-out.
 func (s *Service) eval(q Query) (any, error) {
 	if err := q.normalize(); err != nil {
+		return nil, err
+	}
+	if err := faultpoint.Hit(fpServiceEval); err != nil {
 		return nil, err
 	}
 	switch q.Op {
@@ -561,8 +579,13 @@ func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write([]byte("\n"))
 }
 
-// writeError writes the uniform error payload.
+// writeError writes the uniform error payload. Shed and transiently
+// failing responses carry Retry-After: the condition is momentary, and
+// well-behaved clients back off instead of hammering.
 func (s *Service) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	s.writeJSON(w, status, errorBody{Error: msg})
 }
 
@@ -647,7 +670,25 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics exports the counters as expvar-style JSON.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats()))
+	s.writeJSON(w, http.StatusOK,
+		s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats(), s.resilience()))
+}
+
+// resilience snapshots the admission-control and fault-injection
+// counters for /metrics.
+func (s *Service) resilience() ResilienceStats {
+	rs := ResilienceStats{
+		Shed:     make(map[string]int64, len(s.limiters)),
+		Inflight: make(map[string]int64, len(s.limiters)),
+	}
+	for name, lim := range s.limiters {
+		rs.Shed[name] = lim.shed.Load()
+		rs.Inflight[name] = lim.inflight.Load()
+	}
+	fp := faultpoint.Stats()
+	rs.FaultPointsArmed = fp.Armed
+	rs.FaultsInjected = fp.Injected
+	return rs
 }
 
 // handleHealthz is the liveness probe.

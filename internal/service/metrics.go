@@ -95,6 +95,17 @@ type LatencySnapshot struct {
 	Buckets map[string]int64 `json:"buckets"`
 }
 
+// ResilienceStats groups the admission-control and fault-injection
+// counters: requests shed per class (429s), current in-flight gauges,
+// and the fault-point registry state (nonzero armed means someone is
+// deliberately injecting faults into this process).
+type ResilienceStats struct {
+	Shed             map[string]int64 `json:"shed_requests"`
+	Inflight         map[string]int64 `json:"inflight_requests"`
+	FaultPointsArmed int              `json:"fault_points_armed"`
+	FaultsInjected   int64            `json:"faults_injected"`
+}
+
 // Snapshot is the full /metrics payload.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
@@ -103,17 +114,20 @@ type Snapshot struct {
 	// Sweeps carries the background job-engine counters and in-flight
 	// gauges (see sweep.ManagerStats).
 	Sweeps sweep.ManagerStats `json:"sweeps"`
+	// Resilience carries the shed/fault counters (see ResilienceStats).
+	Resilience ResilienceStats `json:"resilience"`
 }
 
 // Snapshot exports every counter. Cumulative bucket values follow the
 // Prometheus histogram convention (each bucket counts observations at
 // or below its bound; "+Inf" equals count).
-func (m *Metrics) Snapshot(cache CacheStats, sweeps sweep.ManagerStats) Snapshot {
+func (m *Metrics) Snapshot(cache CacheStats, sweeps sweep.ManagerStats, res ResilienceStats) Snapshot {
 	out := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Cache:         cache,
 		Sweeps:        sweeps,
+		Resilience:    res,
 	}
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {

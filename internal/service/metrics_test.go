@@ -18,7 +18,7 @@ func TestMetricsCountsAndClasses(t *testing.T) {
 	m.Observe("/b", 200, time.Second)
 	m.Observe("/nope", 200, time.Second) // unregistered: dropped
 
-	snap := m.Snapshot(CacheStats{}, sweep.ManagerStats{})
+	snap := m.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{})
 	a := snap.Endpoints["/a"]
 	if a.Requests != 4 {
 		t.Errorf("requests = %d", a.Requests)
@@ -47,7 +47,7 @@ func TestMetricsHistogramCumulative(t *testing.T) {
 	m.Observe("/a", 200, 40*time.Millisecond) // <= 0.05
 	m.Observe("/a", 200, 10*time.Second)      // +Inf bucket
 
-	b := m.Snapshot(CacheStats{}, sweep.ManagerStats{}).Endpoints["/a"].Latency.Buckets
+	b := m.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{}).Endpoints["/a"].Latency.Buckets
 	checks := map[string]int64{
 		"0.0001": 1,
 		"0.001":  1,
@@ -67,7 +67,7 @@ func TestMetricsHistogramCumulative(t *testing.T) {
 func TestMetricsSnapshotMarshals(t *testing.T) {
 	m := NewMetrics(endpointNames...)
 	m.Observe("/v1/plan", 200, time.Millisecond)
-	data, err := json.Marshal(m.Snapshot(CacheStats{Hits: 3, Misses: 1, Size: 1, Capacity: 128}, sweep.ManagerStats{}))
+	data, err := json.Marshal(m.Snapshot(CacheStats{Hits: 3, Misses: 1, Size: 1, Capacity: 128}, sweep.ManagerStats{}, ResilienceStats{}))
 	if err != nil {
 		t.Fatal(err)
 	}

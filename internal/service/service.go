@@ -48,6 +48,16 @@ type Config struct {
 	// RequestTimeout is the per-request wall-clock budget (default
 	// 15s; negative disables the timeout handler).
 	RequestTimeout time.Duration
+	// MaxInflightQuery bounds the concurrent in-flight GET evaluation
+	// requests (default 256; negative means unlimited). Requests beyond
+	// the bound are shed with a 429 and Retry-After.
+	MaxInflightQuery int
+	// MaxInflightBatch bounds the concurrent in-flight batch requests
+	// (default 8; negative means unlimited).
+	MaxInflightBatch int
+	// MaxInflightSweeps bounds the concurrent in-flight sweep API
+	// requests (default 16; negative means unlimited).
+	MaxInflightSweeps int
 	// Logger receives structured access and error logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -63,11 +73,12 @@ type Config struct {
 // Service is the linesearchd request handler set. Create with New;
 // safe for concurrent use.
 type Service struct {
-	cfg     Config
-	cache   *PlanCache
-	metrics *Metrics
-	logger  *slog.Logger
-	sweeps  *sweep.Manager
+	cfg      Config
+	cache    *PlanCache
+	metrics  *Metrics
+	logger   *slog.Logger
+	sweeps   *sweep.Manager
+	limiters map[string]*classLimiter
 }
 
 // endpointNames are the metric keys, one per route.
@@ -97,12 +108,26 @@ func New(cfg Config) *Service {
 	if cfg.Sweeps == nil {
 		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger})
 	}
+	if cfg.MaxInflightQuery == 0 {
+		cfg.MaxInflightQuery = 256
+	}
+	if cfg.MaxInflightBatch == 0 {
+		cfg.MaxInflightBatch = 8
+	}
+	if cfg.MaxInflightSweeps == 0 {
+		cfg.MaxInflightSweeps = 16
+	}
 	return &Service{
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.CacheSize, cfg.Build),
 		metrics: NewMetrics(endpointNames...),
 		logger:  cfg.Logger,
 		sweeps:  cfg.Sweeps,
+		limiters: map[string]*classLimiter{
+			classQuery:  newClassLimiter(classQuery, cfg.MaxInflightQuery),
+			classBatch:  newClassLimiter(classBatch, cfg.MaxInflightBatch),
+			classSweeps: newClassLimiter(classSweeps, cfg.MaxInflightSweeps),
+		},
 	}
 }
 
@@ -118,20 +143,28 @@ func (s *Service) Sweeps() *sweep.Manager { return s.sweeps }
 func (s *Service) Close() { s.sweeps.Close() }
 
 // Handler returns the full route set wired with metrics, access
-// logging, panic recovery and the request timeout.
+// logging, panic recovery, per-class admission control and the request
+// timeout. healthz and metrics bypass admission so an overloaded
+// daemon still answers probes.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /v1/plan", s.instrument("/v1/plan", s.handleQuery(OpPlan)))
-	mux.Handle("GET /v1/searchtime", s.instrument("/v1/searchtime", s.handleQuery(OpSearchTime)))
-	mux.Handle("GET /v1/searchtimes", s.instrument("/v1/searchtimes", s.handleQuery(OpSearchTimes)))
-	mux.Handle("GET /v1/timeline", s.instrument("/v1/timeline", s.handleQuery(OpTimeline)))
-	mux.Handle("GET /v1/lowerbound", s.instrument("/v1/lowerbound", s.handleQuery(OpLowerBound)))
-	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", http.HandlerFunc(s.handleBatch)))
-	mux.Handle("POST /v1/sweeps", s.instrument("/v1/sweeps", http.HandlerFunc(s.handleSweepSubmit)))
-	mux.Handle("GET /v1/sweeps", s.instrument("/v1/sweeps", http.HandlerFunc(s.handleSweepList)))
-	mux.Handle("GET /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", http.HandlerFunc(s.handleSweepStatus)))
-	mux.Handle("GET /v1/sweeps/{id}/result", s.instrument("/v1/sweeps/{id}/result", http.HandlerFunc(s.handleSweepResult)))
-	mux.Handle("DELETE /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", http.HandlerFunc(s.handleSweepCancel)))
+	query := func(name, op string) http.Handler {
+		return s.instrument(name, s.admit(classQuery, s.handleQuery(op)))
+	}
+	sweeps := func(name string, h http.HandlerFunc) http.Handler {
+		return s.instrument(name, s.admit(classSweeps, h))
+	}
+	mux.Handle("GET /v1/plan", query("/v1/plan", OpPlan))
+	mux.Handle("GET /v1/searchtime", query("/v1/searchtime", OpSearchTime))
+	mux.Handle("GET /v1/searchtimes", query("/v1/searchtimes", OpSearchTimes))
+	mux.Handle("GET /v1/timeline", query("/v1/timeline", OpTimeline))
+	mux.Handle("GET /v1/lowerbound", query("/v1/lowerbound", OpLowerBound))
+	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.admit(classBatch, http.HandlerFunc(s.handleBatch))))
+	mux.Handle("POST /v1/sweeps", sweeps("/v1/sweeps", s.handleSweepSubmit))
+	mux.Handle("GET /v1/sweeps", sweeps("/v1/sweeps", s.handleSweepList))
+	mux.Handle("GET /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepStatus))
+	mux.Handle("GET /v1/sweeps/{id}/result", sweeps("/v1/sweeps/{id}/result", s.handleSweepResult))
+	mux.Handle("DELETE /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepCancel))
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,17 +11,32 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"linesearch/internal/faultpoint"
 )
 
 // checkpointVersion guards the on-disk layout; bump on incompatible
-// changes so stale files are ignored instead of misread.
-const checkpointVersion = 1
+// changes so stale files are ignored instead of misread. Version 2
+// added the checksum field.
+const checkpointVersion = 2
+
+// Fault points in the checkpoint path. Tests and chaos schedules arm
+// these to prove a torn or failed write never silently loses a resume.
+const (
+	fpCheckpointWrite  = "checkpoint.write"
+	fpCheckpointSync   = "checkpoint.sync"
+	fpCheckpointRename = "checkpoint.rename"
+	fpCheckpointRead   = "checkpoint.read"
+)
 
 // Checkpoint is the durable snapshot of a job: the normalised spec (so
 // a bare checkpoint file is self-describing) and every completed cell.
-// It is written atomically (temp file + rename) on a cell-count cadence
-// and at every terminal state, and read back on submit to skip
-// completed cells.
+// It is written atomically and durably (temp file, fsync, rename,
+// directory fsync) on a cell-count cadence and at every terminal
+// state, and read back on submit to skip completed cells. Checksum is
+// the hex SHA-256 of the canonical encoding; a mismatch on read means
+// torn or corrupted bytes and fails loudly instead of silently
+// restarting the sweep.
 type Checkpoint struct {
 	Version   int       `json:"version"`
 	ID        string    `json:"id"`
@@ -27,6 +44,21 @@ type Checkpoint struct {
 	Spec      Spec      `json:"spec"`
 	Cells     []Cell    `json:"cells"`
 	UpdatedAt time.Time `json:"updated_at"`
+	Checksum  string    `json:"checksum"`
+}
+
+// checksum returns the hex SHA-256 of the checkpoint's canonical form:
+// the compact JSON encoding with the Checksum field blank. Computed on
+// the decoded value, it is independent of on-disk whitespace.
+func (cp Checkpoint) checksum() string {
+	cp.Checksum = ""
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		// Checkpoint is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("sweep: marshal checkpoint: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
 }
 
 // checkpointPath returns the checkpoint file for a job ID.
@@ -34,16 +66,23 @@ func checkpointPath(dir, id string) string {
 	return filepath.Join(dir, id+".checkpoint.json")
 }
 
-// writeCheckpoint atomically persists a checkpoint, creating dir if
-// needed. Cells are sorted by index so the file is deterministic for a
-// given completed set.
+// writeCheckpoint persists a checkpoint atomically and durably,
+// creating dir if needed: write to a temp file, fsync it, rename over
+// the target, fsync the directory. A crash at any point leaves either
+// the previous checkpoint or the new one — never a torn file the next
+// start would trust. Cells are sorted by index so the file is
+// deterministic for a given completed set.
 func writeCheckpoint(dir string, cp Checkpoint) error {
+	if err := faultpoint.Hit(fpCheckpointWrite); err != nil {
+		return fmt.Errorf("sweep: write checkpoint: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("sweep: checkpoint dir: %w", err)
 	}
 	sort.Slice(cp.Cells, func(i, j int) bool { return cp.Cells[i].Index < cp.Cells[j].Index })
 	cp.Version = checkpointVersion
 	cp.UpdatedAt = time.Now().UTC()
+	cp.Checksum = cp.checksum()
 	blob, err := json.MarshalIndent(cp, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
@@ -54,24 +93,56 @@ func writeCheckpoint(dir string, cp Checkpoint) error {
 		return fmt.Errorf("sweep: checkpoint temp file: %w", err)
 	}
 	_, werr := tmp.Write(append(blob, '\n'))
+	// Sync before rename: the rename is only crash-safe once the data
+	// it publishes is on the platter.
+	serr := faultpoint.Hit(fpCheckpointSync)
+	if serr == nil && werr == nil {
+		serr = tmp.Sync()
+	}
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("sweep: write checkpoint: %w", errors.Join(werr, cerr))
+		return fmt.Errorf("sweep: write checkpoint: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := faultpoint.Hit(fpCheckpointRename); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: publish checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: publish checkpoint: %w", err)
 	}
+	// Sync the directory so the rename itself survives a crash.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("sweep: sync checkpoint dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return errors.Join(serr, cerr)
 }
 
 // readCheckpoint loads the checkpoint for (dir, id). A missing file is
 // (nil, nil): a fresh job. A present but unreadable, version-skewed or
 // hash-mismatched file is an error — silently recomputing could mask
-// data corruption the operator should see.
+// data corruption the operator should see. Undecodable or
+// checksum-mismatched files are additionally moved aside to
+// "<name>.corrupt" so the evidence survives and a deliberate resubmit
+// can start fresh.
 func readCheckpoint(dir, id, wantHash string) (*Checkpoint, error) {
-	blob, err := os.ReadFile(checkpointPath(dir, id))
+	if err := faultpoint.Hit(fpCheckpointRead); err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	path := checkpointPath(dir, id)
+	blob, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -80,15 +151,29 @@ func readCheckpoint(dir, id, wantHash string) (*Checkpoint, error) {
 	}
 	var cp Checkpoint
 	if err := json.Unmarshal(blob, &cp); err != nil {
-		return nil, fmt.Errorf("sweep: decode checkpoint %s: %w", id, err)
+		return nil, fmt.Errorf("sweep: decode checkpoint %s (%s): %w", id, quarantineCorrupt(path), err)
 	}
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("sweep: checkpoint %s has version %d, want %d", id, cp.Version, checkpointVersion)
+	}
+	if want := cp.checksum(); cp.Checksum != want {
+		return nil, fmt.Errorf("sweep: checkpoint %s failed its checksum (%s): file has %.12s, content hashes to %.12s",
+			id, quarantineCorrupt(path), cp.Checksum, want)
 	}
 	if cp.SpecHash != wantHash {
 		return nil, fmt.Errorf("sweep: checkpoint %s was written for a different spec (hash %.12s, want %.12s)", id, cp.SpecHash, wantHash)
 	}
 	return &cp, nil
+}
+
+// quarantineCorrupt moves a corrupt checkpoint aside and describes the
+// outcome for the error message.
+func quarantineCorrupt(path string) string {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Sprintf("could not be moved aside: %v", err)
+	}
+	return "moved aside to " + dst
 }
 
 // removeCheckpoint deletes a job's checkpoint file (missing is fine).
@@ -98,4 +183,23 @@ func removeCheckpoint(dir, id string) error {
 		return err
 	}
 	return nil
+}
+
+// cleanupOrphans removes "*.tmp-*" temp files that a crash between
+// CreateTemp and rename left in the checkpoint directory. Called at
+// manager startup; a missing directory is a clean zero.
+func cleanupOrphans(dir string) (removed int, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	for _, path := range matches {
+		if rerr := os.Remove(path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			errs = append(errs, rerr)
+			continue
+		}
+		removed++
+	}
+	return removed, errors.Join(errs...)
 }

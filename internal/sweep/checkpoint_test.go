@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
+	"linesearch/internal/faultpoint"
 	"linesearch/internal/trace"
 )
 
@@ -282,5 +284,154 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if err := removeCheckpoint(dir, spec.JobID()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointChecksumTamperMovesAside: flipping bytes in a
+// checkpoint fails the checksum on read, moves the file to .corrupt,
+// and surfaces a loud error instead of silently restarting the sweep.
+func TestCheckpointChecksumTamperMovesAside(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{N: []int{3}, F: []int{1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cr := 4.5
+	cp := Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec,
+		Cells: []Cell{{Index: 0, N: 3, F: 1, Strategy: "auto", EmpiricalCR: &cr}}}
+	if err := writeCheckpoint(dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	path := checkpointPath(dir, spec.JobID())
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the payload without breaking the JSON syntax.
+	tampered := []byte(strings.Replace(string(blob), `"n": 3`, `"n": 4`, 1))
+	if string(tampered) == string(blob) {
+		t.Fatal("tamper target not found in checkpoint")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = readCheckpoint(dir, spec.JobID(), spec.Hash())
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered checkpoint not rejected: %v", err)
+	}
+	if _, serr := os.Stat(path + ".corrupt"); serr != nil {
+		t.Errorf("corrupt file not moved aside: %v", serr)
+	}
+	if _, serr := os.Stat(path); serr == nil {
+		t.Error("corrupt file still in place")
+	}
+	// A resubmit after the move-aside starts fresh rather than erroring.
+	if cp2, rerr := readCheckpoint(dir, spec.JobID(), spec.Hash()); rerr != nil || cp2 != nil {
+		t.Errorf("post-quarantine read = %v, %v; want fresh start", cp2, rerr)
+	}
+}
+
+// TestCheckpointUndecodableMovesAside: syntactically broken files are
+// quarantined too.
+func TestCheckpointUndecodableMovesAside(t *testing.T) {
+	dir := t.TempDir()
+	path := checkpointPath(dir, "sw-torn")
+	if err := os.WriteFile(path, []byte(`{"version": 2, "cells": [tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCheckpoint(dir, "sw-torn", "x"); err == nil {
+		t.Fatal("torn checkpoint accepted")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("torn file not moved aside: %v", err)
+	}
+}
+
+// TestManagerStartupRemovesOrphanedTempFiles: crash debris from torn
+// writes is swept when a manager starts on the directory; real
+// checkpoints survive.
+func TestManagerStartupRemovesOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{N: []int{3}, F: []int{1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpoint(dir, Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		filepath.Join(dir, spec.JobID()+".tmp-123456"),
+		filepath.Join(dir, "sw-dead.tmp-9"),
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewManager(Config{Dir: dir, Logger: quiet()})
+	defer m.Close()
+	for _, p := range orphans {
+		if _, err := os.Stat(p); err == nil {
+			t.Errorf("orphan %s survived startup", p)
+		}
+	}
+	if _, err := os.Stat(checkpointPath(dir, spec.JobID())); err != nil {
+		t.Errorf("real checkpoint removed by cleanup: %v", err)
+	}
+	// A manager on a directory that does not exist yet starts cleanly.
+	m2 := NewManager(Config{Dir: filepath.Join(dir, "nope"), Logger: quiet()})
+	m2.Close()
+}
+
+// TestCheckpointWriteFaultInjection: each fault point in the write
+// path surfaces as an error and leaves no torn checkpoint or temp
+// debris behind.
+func TestCheckpointWriteFaultInjection(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	spec := Spec{N: []int{3}, F: []int{1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{"checkpoint.write", "checkpoint.sync", "checkpoint.rename"} {
+		dir := t.TempDir()
+		faultpoint.Reset()
+		faultpoint.Arm(fp, faultpoint.Rule{Times: 1})
+		cp := Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec}
+		if err := writeCheckpoint(dir, cp); err == nil {
+			t.Errorf("%s: injected fault did not fail the write", fp)
+		}
+		if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(tmps) != 0 {
+			t.Errorf("%s: temp debris left behind: %v", fp, tmps)
+		}
+		// The fault is exhausted; the retried write succeeds and reads
+		// back checksum-clean.
+		if err := writeCheckpoint(dir, cp); err != nil {
+			t.Errorf("%s: post-fault write failed: %v", fp, err)
+		}
+		if got, err := readCheckpoint(dir, spec.JobID(), spec.Hash()); err != nil || got == nil {
+			t.Errorf("%s: post-fault read = %v, %v", fp, got, err)
+		}
+	}
+}
+
+// TestCheckpointReadFaultInjection: an injected read fault fails
+// Submit loudly instead of silently recomputing.
+func TestCheckpointReadFaultInjection(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("checkpoint.read", faultpoint.Rule{Times: 1})
+	m := NewManager(Config{Dir: t.TempDir(), Logger: quiet()})
+	defer m.Close()
+	if _, err := m.Submit(Spec{N: []int{3}, F: []int{1}, XMax: 20}); err == nil {
+		t.Fatal("Submit ignored an injected checkpoint read fault")
+	}
+	// The fault was one-shot; the resubmit succeeds.
+	j, err := m.Submit(Spec{N: []int{3}, F: []int{1}, XMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j); st.State != StateDone {
+		t.Errorf("state %s, error %q", st.State, st.Error)
 	}
 }

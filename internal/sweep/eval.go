@@ -2,13 +2,20 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"math"
 
 	"linesearch/internal/analysis"
 	"linesearch/internal/compiled"
+	"linesearch/internal/faultpoint"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
 )
+
+// fpSweepEval is the fault point at the head of every cell evaluation;
+// chaos schedules arm it with error, latency and panic rules to prove
+// the retry and quarantine machinery out.
+const fpSweepEval = "sweep.eval"
 
 // Cell is one completed grid cell. Cells that fail (an infeasible pair,
 // an out-of-regime strategy) carry Err and nil measurements; they count
@@ -38,10 +45,40 @@ type Cell struct {
 	Candidates int `json:"candidates,omitempty"`
 	// Err is the cell's failure message, empty on success.
 	Err string `json:"error,omitempty"`
+	// Attempts is how many evaluations this cell took (1 on a clean
+	// first pass; more after transient-failure retries).
+	Attempts int `json:"attempts,omitempty"`
+	// Quarantined marks a cell that kept failing transiently until the
+	// retry budget ran out. Quarantined cells fail the job loudly and
+	// are retried from scratch on resume.
+	Quarantined bool `json:"quarantined,omitempty"`
+
+	// transient marks the failure as retryable; cancelled marks it as
+	// an artifact of job shutdown. Neither is persisted: a cancelled
+	// cell is never recorded, and transiency is re-derived per run.
+	transient bool
+	cancelled bool
 }
 
 // OK reports whether the cell produced a measurement.
 func (c Cell) OK() bool { return c.Err == "" }
+
+// isTransient reports whether err advertises itself as retryable via
+// the Transient() bool contract (injected faults, and any future
+// evaluator error that opts in). Cancellation is never transient: the
+// job is shutting down, not failing.
+func isTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// isCancelled reports whether err is a shutdown artifact.
+func isCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // EvalFunc computes one grid cell. The production evaluator is
 // EvalCell; tests substitute instrumented ones. Implementations must be
@@ -49,10 +86,12 @@ func (c Cell) OK() bool { return c.Err == "" }
 // cancelled (the engine additionally stops dispatching new cells).
 type EvalFunc func(ctx context.Context, p CellParams) Cell
 
-// failedCell returns the error-carrying cell for p.
+// failedCell returns the error-carrying cell for p, classified for the
+// retry layer.
 func failedCell(p CellParams, err error) Cell {
 	return Cell{Index: p.Index, N: p.N, F: p.F, Strategy: p.Strategy,
-		StrategyID: p.StrategyID, Err: err.Error()}
+		StrategyID: p.StrategyID, Err: err.Error(),
+		transient: isTransient(err), cancelled: isCancelled(err)}
 }
 
 // EvalCell is the production evaluator: resolve the strategy, realise
@@ -61,6 +100,9 @@ func failedCell(p CellParams, err error) Cell {
 // candidates and result as sim.EmpiricalCR, no per-target allocation),
 // and cross-check against the strategy's closed form.
 func EvalCell(ctx context.Context, p CellParams) Cell {
+	if err := faultpoint.Hit(fpSweepEval); err != nil {
+		return failedCell(p, err)
+	}
 	st, err := resolveStrategy(p.Strategy, p.N, p.F)
 	if err != nil {
 		return failedCell(p, err)

@@ -65,6 +65,11 @@ func newJob(base context.Context, spec Spec, cp *Checkpoint) *Job {
 	}
 	if cp != nil {
 		for _, c := range cp.Cells {
+			if c.Quarantined {
+				// Quarantined cells failed on infrastructure, not
+				// data; a resumed run retries them from scratch.
+				continue
+			}
 			if c.Index >= 0 && c.Index < len(j.cells) {
 				j.results[c.Index] = c
 			}
@@ -90,17 +95,23 @@ func (j *Job) Cancel() { j.cancel() }
 // Status is a point-in-time progress snapshot, JSON-shaped for the job
 // API and the CLI.
 type Status struct {
-	ID           string     `json:"id"`
-	Name         string     `json:"name"`
-	State        State      `json:"state"`
-	Spec         Spec       `json:"spec"`
-	Strategies   []string   `json:"strategies"`
-	TotalCells   int        `json:"total_cells"`
-	DoneCells    int        `json:"done_cells"`
-	ResumedCells int        `json:"resumed_cells"`
-	CellErrors   int        `json:"cell_errors"`
-	StartedAt    *time.Time `json:"started_at,omitempty"`
-	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	ID           string   `json:"id"`
+	Name         string   `json:"name"`
+	State        State    `json:"state"`
+	Spec         Spec     `json:"spec"`
+	Strategies   []string `json:"strategies"`
+	TotalCells   int      `json:"total_cells"`
+	DoneCells    int      `json:"done_cells"`
+	ResumedCells int      `json:"resumed_cells"`
+	CellErrors   int      `json:"cell_errors"`
+	// QuarantinedCells counts cells that exhausted their transient-
+	// failure retry budget; any nonzero count fails the job.
+	QuarantinedCells int `json:"quarantined_cells,omitempty"`
+	// CellRetries sums the extra evaluation attempts the job's cells
+	// needed beyond their first.
+	CellRetries int        `json:"cell_retries,omitempty"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// ElapsedSeconds is the wall-clock run time so far (or total when
 	// finished), excluding the pending wait.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -132,6 +143,12 @@ func (j *Job) Status() Status {
 	for _, c := range j.results {
 		if !c.OK() {
 			st.CellErrors++
+		}
+		if c.Quarantined {
+			st.QuarantinedCells++
+		}
+		if c.Attempts > 1 {
+			st.CellRetries += c.Attempts - 1
 		}
 	}
 	if !j.started.IsZero() {
@@ -230,6 +247,19 @@ func (j *Job) checkpoint() Checkpoint {
 		Spec:     j.spec,
 		Cells:    j.sortedCellsLocked(),
 	}
+}
+
+// quarantined counts the job's quarantined cells.
+func (j *Job) quarantined() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, c := range j.results {
+		if c.Quarantined {
+			n++
+		}
+	}
+	return n
 }
 
 // record stores one completed cell and reports how many cells are done.

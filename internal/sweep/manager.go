@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Config tunes a Manager. The zero value gets sensible defaults.
@@ -28,6 +30,17 @@ type Config struct {
 	// CheckpointEvery is the flush cadence in completed cells (default
 	// 32; 1 checkpoints after every cell).
 	CheckpointEvery int
+	// MaxAttempts bounds how many times a transiently failing cell is
+	// evaluated before quarantine (default 3; 1 disables retries).
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry (default
+	// 50ms); each further retry doubles it.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 2s).
+	RetryMaxDelay time.Duration
+	// Seed seeds the retry-jitter PRNG (default 1), keeping backoff
+	// schedules reproducible in tests.
+	Seed int64
 	// Logger receives job lifecycle logs (default slog.Default()).
 	Logger *slog.Logger
 	// Eval overrides the cell evaluator (tests only).
@@ -44,6 +57,13 @@ type ManagerStats struct {
 	CellsComputed int64 `json:"cells_computed"`
 	CellsResumed  int64 `json:"cells_resumed"`
 	CellErrors    int64 `json:"cell_errors"`
+	// CellRetries counts transient-failure retries; CellsQuarantined
+	// counts cells that exhausted their retry budget (each of which
+	// fails its job loudly). CheckpointFailures counts failed
+	// checkpoint writes, mid-run or final.
+	CellRetries        int64 `json:"cell_retries"`
+	CellsQuarantined   int64 `json:"cells_quarantined"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
 	// RunningJobs and PendingJobs are point-in-time gauges.
 	RunningJobs int `json:"running_jobs"`
 	PendingJobs int `json:"pending_jobs"`
@@ -64,12 +84,18 @@ type Manager struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	submitted, resumedJobs, completed, failed, cancelled atomic.Int64
-	cellsComputed, cellsResumed, cellErrors             atomic.Int64
+	cellsComputed, cellsResumed, cellErrors              atomic.Int64
+	cellRetries, cellsQuarantined, checkpointFailures    atomic.Int64
 }
 
-// NewManager returns a Manager with defaults applied. Nothing touches
-// the disk until the first Submit.
+// NewManager returns a Manager with defaults applied. Startup sweeps
+// the checkpoint directory for orphaned "*.tmp-*" files left by
+// crashed writes (a missing directory is fine); beyond that, nothing
+// touches the disk until the first Submit.
 func NewManager(cfg Config) *Manager {
 	if cfg.Dir == "" {
 		cfg.Dir = filepath.Join("data", "sweeps")
@@ -86,6 +112,18 @@ func NewManager(cfg Config) *Manager {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 32
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -93,13 +131,20 @@ func NewManager(cfg Config) *Manager {
 		cfg.Eval = EvalCell
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		cfg:    cfg,
 		ctx:    ctx,
 		cancel: cancel,
 		slots:  make(chan struct{}, cfg.MaxActiveJobs),
 		jobs:   make(map[string]*Job),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if n, err := cleanupOrphans(cfg.Dir); err != nil {
+		cfg.Logger.Warn("sweep orphan cleanup", "dir", cfg.Dir, "err", err)
+	} else if n > 0 {
+		cfg.Logger.Info("sweep removed orphaned checkpoint temp files", "dir", cfg.Dir, "count", n)
+	}
+	return m
 }
 
 // Dir returns the manager's checkpoint/result directory.
@@ -214,6 +259,10 @@ func (m *Manager) Stats() ManagerStats {
 		CellsComputed: m.cellsComputed.Load(),
 		CellsResumed:  m.cellsResumed.Load(),
 		CellErrors:    m.cellErrors.Load(),
+
+		CellRetries:        m.cellRetries.Load(),
+		CellsQuarantined:   m.cellsQuarantined.Load(),
+		CheckpointFailures: m.checkpointFailures.Load(),
 	}
 	m.mu.Lock()
 	for _, j := range m.jobs {
@@ -258,7 +307,7 @@ func (m *Manager) runJob(j *Job) {
 		go func() {
 			defer wg.Done()
 			for p := range feed {
-				out <- m.evalSafely(j.ctx, p)
+				out <- m.evalResilient(j.ctx, p)
 			}
 		}()
 	}
@@ -279,6 +328,11 @@ func (m *Manager) runJob(j *Job) {
 
 	sinceFlush := 0
 	for cell := range out {
+		if cell.cancelled {
+			// A shutdown artifact, not a result: leave the cell
+			// unrecorded so resume recomputes it.
+			continue
+		}
 		if !cell.OK() {
 			m.cellErrors.Add(1)
 		}
@@ -288,6 +342,7 @@ func (m *Manager) runJob(j *Job) {
 		if sinceFlush >= m.cfg.CheckpointEvery {
 			sinceFlush = 0
 			if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+				m.checkpointFailures.Add(1)
 				m.cfg.Logger.Error("sweep checkpoint failed", "job", j.id, "err", err)
 			}
 		}
@@ -295,22 +350,13 @@ func (m *Manager) runJob(j *Job) {
 	m.finalize(j, j.ctx.Err() != nil)
 }
 
-// evalSafely runs the evaluator, converting a panic into a cell error
-// so one pathological cell cannot take down the daemon.
-func (m *Manager) evalSafely(ctx context.Context, p CellParams) (cell Cell) {
-	defer func() {
-		if v := recover(); v != nil {
-			m.cfg.Logger.Error("sweep cell panicked", "cell", p.Index, "panic", v)
-			cell = failedCell(p, fmt.Errorf("panic: %v", v))
-		}
-	}()
-	return m.cfg.Eval(ctx, p)
-}
-
 // finalize writes the last checkpoint and moves the job to its terminal
-// state, exporting datasets when every cell completed.
+// state, exporting datasets when every cell completed cleanly. Jobs
+// with quarantined cells fail loudly instead of passing a silently
+// degraded dataset off as done.
 func (m *Manager) finalize(j *Job, interrupted bool) {
 	if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+		m.checkpointFailures.Add(1)
 		m.cfg.Logger.Error("sweep final checkpoint failed", "job", j.id, "err", err)
 		m.failed.Add(1)
 		j.finish(StateFailed, err, nil)
@@ -322,6 +368,14 @@ func (m *Manager) finalize(j *Job, interrupted bool) {
 		m.cfg.Logger.Info("sweep cancelled", "job", j.id,
 			"done", st.DoneCells, "total", st.TotalCells)
 		j.finish(StateCancelled, nil, nil)
+		return
+	}
+	if q := j.quarantined(); q > 0 {
+		err := fmt.Errorf("sweep: %d cells quarantined after %d attempts each; checkpoint retained, resume retries them",
+			q, m.cfg.MaxAttempts)
+		m.cfg.Logger.Error("sweep failed", "job", j.id, "quarantined", q)
+		m.failed.Add(1)
+		j.finish(StateFailed, err, nil)
 		return
 	}
 	files, err := m.export(j)

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// evalResilient drives one cell through the retry policy: transient
+// failures (injected faults, evaluator panics) are retried with capped
+// exponential backoff plus jitter, up to Config.MaxAttempts total
+// attempts; a cell that exhausts the budget is quarantined, which
+// fails the job loudly at finalize. Permanent failures (infeasible
+// pairs, out-of-regime strategies) are data and return immediately;
+// cancellation stops retrying without recording anything.
+func (m *Manager) evalResilient(ctx context.Context, p CellParams) Cell {
+	var cell Cell
+	for attempt := 1; ; attempt++ {
+		cell = m.evalSafely(ctx, p)
+		cell.Attempts = attempt
+		if cell.OK() || cell.cancelled || !cell.transient || attempt >= m.cfg.MaxAttempts {
+			break
+		}
+		m.cellRetries.Add(1)
+		m.cfg.Logger.Warn("sweep cell retry", "cell", p.Index,
+			"attempt", attempt, "of", m.cfg.MaxAttempts, "err", cell.Err)
+		select {
+		case <-time.After(m.backoff(attempt)):
+		case <-ctx.Done():
+			cell.cancelled = true
+		}
+		if cell.cancelled {
+			break
+		}
+	}
+	if !cell.OK() && cell.transient && !cell.cancelled {
+		// The retry budget is spent: quarantine, the infrastructure
+		// analogue of declaring a robot faulty.
+		cell.Quarantined = true
+		m.cellsQuarantined.Add(1)
+		m.cfg.Logger.Error("sweep cell quarantined", "cell", p.Index,
+			"attempts", cell.Attempts, "err", cell.Err)
+	}
+	return cell
+}
+
+// evalSafely runs the evaluator, converting a panic into a transient
+// cell error so one pathological (or fault-injected) cell cannot take
+// down the daemon but still gets its retries.
+func (m *Manager) evalSafely(ctx context.Context, p CellParams) (cell Cell) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.cfg.Logger.Error("sweep cell panicked", "cell", p.Index, "panic", v)
+			cell = failedCell(p, fmt.Errorf("panic: %v", v))
+			cell.transient = true
+		}
+	}()
+	return m.cfg.Eval(ctx, p)
+}
+
+// backoff returns the delay before retry number attempt (1-based):
+// capped exponential growth from RetryBaseDelay with jitter drawn
+// uniformly from the upper half of the window, so synchronized
+// failures don't retry in lockstep.
+func (m *Manager) backoff(attempt int) time.Duration {
+	d := m.cfg.RetryBaseDelay
+	for i := 1; i < attempt && d < m.cfg.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > m.cfg.RetryMaxDelay {
+		d = m.cfg.RetryMaxDelay
+	}
+	if d <= 1 {
+		return d
+	}
+	m.rngMu.Lock()
+	j := m.rng.Int63n(int64(d)/2 + 1)
+	m.rngMu.Unlock()
+	return d/2 + time.Duration(j)
+}
