@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check chaos fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check lint chaos fuzz repro data serve sweep clean
 
 all: build test
 
@@ -28,6 +28,26 @@ bench:
 # checked-in baseline.
 bench-check: bench
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_pr3.json
+
+# Telemetry-overhead benchmarks: the untraced request fast path (must
+# stay 0 allocs/op), traced requests, traceparent parsing, histogram
+# observation, and the compiled hot paths through the ctx-aware entry
+# points. Writes BENCH_pr5.json.
+bench-pr5:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry ./internal/compiled | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr5.json
+
+# Fail when the compiled hot paths regress allocs/op against the PR 3
+# report (benchjson compares only the benchmarks both reports share).
+bench-pr5-check: bench-pr5
+	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json BENCH_pr5.json
+
+# Static analysis beyond go vet. staticcheck is installed by CI; run
+# `go install honnef.co/go/tools/cmd/staticcheck@2025.1` to get it
+# locally.
+lint:
+	$(GO) vet ./...
+	staticcheck ./...
 
 # Fault-injection chaos suite under the race detector: 24 deterministic
 # schedules, the kill-and-resume torture test, and a randomized-seed

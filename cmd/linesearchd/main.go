@@ -8,6 +8,7 @@
 //	linesearchd [-addr :8080] [-cache 128] [-workers 0] [-max-batch 1024]
 //	            [-timeout 15s] [-log text|json] [-quiet]
 //	            [-sweep-dir data/sweeps] [-sweep-workers 0] [-sweep-jobs 2]
+//	            [-trace-sample 0.1] [-trace-buffer 256] [-debug-addr ""]
 //
 // Endpoints (see internal/service):
 //
@@ -19,7 +20,13 @@
 //	POST /v1/sweeps                submit a background parameter sweep (checkpointed, resumable)
 //	GET  /v1/sweeps                list sweep jobs; /v1/sweeps/{id} for status, .../result for data
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics                  JSON by default; Prometheus text under Accept: text/plain
+//	GET  /debug/traces             recent/slowest sampled request traces
+//
+// With -debug-addr set, a second listener (keep it loopback-only; the
+// profiling endpoints can stall the process and expose internals)
+// additionally serves net/http/pprof under /debug/pprof/ plus the same
+// /debug/traces, /metrics and /healthz.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a drain window before the listener closes, and running
@@ -44,6 +51,7 @@ import (
 
 	"linesearch/internal/service"
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +83,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	sweepDir := fs.String("sweep-dir", filepath.Join("data", "sweeps"), "directory for sweep checkpoints and result datasets")
 	sweepWorkers := fs.Int("sweep-workers", 0, "cell workers per running sweep job (0 = GOMAXPROCS)")
 	sweepJobs := fs.Int("sweep-jobs", 2, "sweep jobs running concurrently (excess submissions queue)")
+	traceSample := fs.Float64("trace-sample", 0.1, "fraction of requests traced into /debug/traces (1 = all, 0 = default, negative disables)")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
+	debugAddr := fs.String("debug-addr", "", "optional pprof/debug listen address (empty disables; keep it loopback-only, e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,11 +110,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if requestTimeout == 0 {
 		requestTimeout = -1 // Config treats 0 as "default"; negative disables.
 	}
+	// One tracer shared by the request path and the sweep engine, so
+	// /debug/traces interleaves both.
+	tracer := telemetry.New(telemetry.Config{
+		SampleRate: *traceSample,
+		Capacity:   *traceBuffer,
+	})
 	sweeps := sweep.NewManager(sweep.Config{
 		Dir:           *sweepDir,
 		Workers:       *sweepWorkers,
 		MaxActiveJobs: *sweepJobs,
 		Logger:        logger,
+		Tracer:        tracer,
 	})
 	// Fail fast on an unwritable sweep directory instead of failing the
 	// first submitted job.
@@ -116,6 +134,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxBatch:       *maxBatch,
 		RequestTimeout: requestTimeout,
 		Logger:         logger,
+		Tracer:         tracer,
 		Sweeps:         sweeps,
 	})
 
@@ -144,6 +163,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// The debug surface (pprof, traces) binds separately and only on
+	// request: profiling handlers can stall the process, so they never
+	// share the serving port and are off by default.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "linesearchd: debug listening on %s\n", debugLn.Addr())
+		logger.Warn("debug/pprof surface enabled; do not expose it publicly",
+			"addr", debugLn.Addr().String())
+		debugSrv = &http.Server{
+			Handler:           svc.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		// Debug-listener failures (beyond clean shutdown) are logged, not
+		// fatal: losing pprof must not take the serving path down.
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -153,6 +199,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Info("shutting down", "grace", shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("debug shutdown", "err", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

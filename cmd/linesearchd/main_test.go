@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strings"
@@ -162,10 +163,131 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDebugListener boots the daemon with the opt-in debug listener:
+// pprof and /debug/traces serve on the second port, never on the main
+// one, and /metrics answers a Prometheus scrape in the text format.
+func TestDebugListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := newLineWatcher()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+			"-trace-sample", "1", "-quiet"}, out)
+	}()
+	select {
+	case <-out.ready:
+	case err := <-done:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+
+	// The debug line can land just after the main one; wait for it.
+	var mainAddr, debugAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if i := strings.Index(line, "debug listening on "); i >= 0 {
+				debugAddr = strings.TrimSpace(line[i+len("debug listening on "):])
+			} else if i := strings.Index(line, "listening on "); i >= 0 {
+				mainAddr = strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+		if debugAddr != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if mainAddr == "" || debugAddr == "" {
+		t.Fatalf("addresses not reported (main %q, debug %q):\n%s", mainAddr, debugAddr, out.String())
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Generate one traced request, then read it back via the debug port.
+	resp, err := client.Get("http://" + mainAddr + "/v1/plan?n=3&f=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = client.Get("http://" + debugAddr + "/debug/traces?sort=slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Traces []struct {
+			Name string `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, tr := range traces.Traces {
+		found = found || tr.Name == "/v1/plan"
+	}
+	if !found {
+		t.Errorf("debug port reports no /v1/plan trace: %+v", traces)
+	}
+
+	// pprof lives on the debug port only.
+	resp, err = client.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("debug pprof status %d", resp.StatusCode)
+	}
+	resp, err = client.Get("http://" + mainAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof must not serve on the main port")
+	}
+
+	// A Prometheus scrape of the main port gets the text exposition.
+	req, _ := http.NewRequest("GET", "http://"+mainAddr+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("scrape Content-Type = %q", ct)
+	}
+	if !strings.Contains(body.String(), "linesearchd_http_requests_total") {
+		t.Errorf("exposition missing request counter:\n%.500s", body.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if _, err := client.Get("http://" + debugAddr + "/healthz"); err == nil {
+		t.Error("debug listener still accepting connections after shutdown")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-log", "yaml"},               // unknown log format
 		{"-addr", "definitely:not:ok"}, // unparseable listen address
+		{"-addr", "127.0.0.1:0", "-debug-addr", "definitely:not:ok"},
 		{"-no-such-flag"},
 	}
 	for _, args := range cases {

@@ -67,9 +67,9 @@ func TestRunSpecFileAndResume(t *testing.T) {
 
 func TestRunFlagValidation(t *testing.T) {
 	cases := [][]string{
-		{},                             // no grid at all
-		{"-n", "3"},                    // missing -f
-		{"-n", "3,x", "-f", "1"},       // bad integer
+		{},                       // no grid at all
+		{"-n", "3"},              // missing -f
+		{"-n", "3,x", "-f", "1"}, // bad integer
 		{"-n", "3", "-f", "1", "-betas", "oops"},
 		{"-spec", "nope.json"},         // missing file
 		{"-spec", "s.json", "-n", "3"}, // mutually exclusive

@@ -1,6 +1,7 @@
 package compiled_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -87,6 +88,25 @@ func BenchmarkCompiledBatch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = e.EvalMany(xs, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkCompiledBatchCtx is BenchmarkCompiledBatch through the
+// context-aware entry point with an untraced context: the telemetry
+// hooks must stay within noise of the plain path and allocate nothing.
+func BenchmarkCompiledBatchCtx(b *testing.B) {
+	_, cp := benchPlan(b)
+	ctx := context.Background()
+	for _, size := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			xs := benchTargets(size)
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = cp.EvalManyCtx(ctx, xs, dst)
 			}
 		})
 	}

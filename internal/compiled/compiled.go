@@ -1,7 +1,7 @@
 // Package compiled is the hot-path evaluation kernel: it flattens a
 // sim.Plan's trajectories into flat turning-time/position arrays once,
 // then answers first-visit queries by binary search and k-th-distinct
-//-visit queries with a zero-allocation partial selection — no per-query
+// -visit queries with a zero-allocation partial selection — no per-query
 // []Visit slice, no sort.
 //
 // The flattening exploits the structure Theorem 3 gives every schedule

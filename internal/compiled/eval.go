@@ -1,9 +1,12 @@
 package compiled
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+
+	"linesearch/internal/telemetry"
 )
 
 // Evaluator answers queries against one compiled plan using fixed
@@ -175,5 +178,18 @@ func (p *Plan) EvalMany(xs []float64, dst []float64) []float64 {
 	e := p.evals.get()
 	dst = e.EvalMany(xs, dst)
 	p.evals.put(e)
+	return dst
+}
+
+// EvalManyCtx is EvalMany with trace plumbing: when ctx carries a
+// sampled telemetry trace, the batch pass records a "kernel.evalmany"
+// span annotated with the target count. The untraced path takes the
+// nil-span fast path — no allocations, no locking — so batch hot loops
+// can call this unconditionally.
+func (p *Plan) EvalManyCtx(ctx context.Context, xs []float64, dst []float64) []float64 {
+	_, span := telemetry.StartSpan(ctx, "kernel.evalmany")
+	span.SetInt("targets", int64(len(xs)))
+	dst = p.EvalMany(xs, dst)
+	span.End()
 	return dst
 }

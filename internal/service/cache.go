@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"linesearch"
 	"linesearch/internal/faultpoint"
+	"linesearch/internal/telemetry"
 )
 
 // PlanKey identifies a constructed search plan: everything that goes
@@ -128,25 +130,43 @@ func NewPlanCache(capacity int, build BuildFunc) *PlanCache {
 // Get returns the Searcher for key, building and caching it on a miss.
 // Safe for concurrent use.
 func (c *PlanCache) Get(key PlanKey) (*Plan, error) {
+	plan, _, err := c.GetCtx(context.Background(), key)
+	return plan, err
+}
+
+// GetCtx is Get with trace plumbing: when ctx carries a sampled trace,
+// a cache miss records a "plan.build" stage span around the expensive
+// construction (in-flight waiters record "plan.build.wait" instead).
+// hit reports whether the plan came straight from the cache, so
+// callers can annotate their own spans.
+func (c *PlanCache) GetCtx(ctx context.Context, key PlanKey) (plan *Plan, hit bool, err error) {
 	c.mu.Lock()
 	if elem, ok := c.items[key]; ok {
 		c.ll.MoveToFront(elem)
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return elem.Value.(*cacheEntry).plan, nil
+		return elem.Value.(*cacheEntry).plan, true, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.waits.Add(1)
+		_, span := telemetry.StartSpan(ctx, "plan.build.wait")
 		<-call.done
-		return call.plan, call.err
+		span.End()
+		return call.plan, false, call.err
 	}
 	call := &inflightBuild{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
 	c.misses.Add(1)
 
+	_, span := telemetry.StartSpan(ctx, "plan.build")
+	span.SetStr("plan", key.String())
 	call.plan, call.err = c.build(key)
+	if call.err != nil {
+		span.SetStr("error", call.err.Error())
+	}
+	span.End()
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -155,7 +175,7 @@ func (c *PlanCache) Get(key PlanKey) (*Plan, error) {
 	}
 	c.mu.Unlock()
 	close(call.done)
-	return call.plan, call.err
+	return call.plan, false, call.err
 }
 
 // insertLocked adds a built plan, evicting the least recently used

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"linesearch"
 	"linesearch/internal/faultpoint"
+	"linesearch/internal/telemetry"
 )
 
 // Service-layer fault points: the head of the shared evaluation path
@@ -57,11 +59,11 @@ type Query struct {
 	X        float64 `json:"x,omitempty"`
 	// Xs is the target list of a searchtimes query, evaluated in one
 	// pass through the compiled kernel.
-	Xs []float64 `json:"xs,omitempty"`
-	K  int       `json:"k,omitempty"` // 0 means the worst case f+1
-	Faulty   []int   `json:"faulty"`      // nil means the adversarial worst case
-	Tmax     float64 `json:"tmax,omitempty"`
-	Horizon  float64 `json:"horizon,omitempty"`
+	Xs      []float64 `json:"xs,omitempty"`
+	K       int       `json:"k,omitempty"` // 0 means the worst case f+1
+	Faulty  []int     `json:"faulty"`      // nil means the adversarial worst case
+	Tmax    float64   `json:"tmax,omitempty"`
+	Horizon float64   `json:"horizon,omitempty"`
 }
 
 // apiError carries the HTTP status a failed evaluation maps to.
@@ -240,31 +242,52 @@ func (q Query) key() PlanKey {
 }
 
 // eval answers one query. It is the single evaluation path shared by
-// the GET endpoints and the batch fan-out.
-func (s *Service) eval(q Query) (any, error) {
+// the GET endpoints and the batch fan-out. A sampled request gets an
+// "eval" stage span annotated with the op and cache outcome; untraced
+// requests pay nothing for the hooks.
+func (s *Service) eval(ctx context.Context, q Query) (any, error) {
 	if err := q.normalize(); err != nil {
 		return nil, err
 	}
 	if err := faultpoint.Hit(fpServiceEval); err != nil {
 		return nil, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "eval")
+	span.SetStr("op", q.Op)
+	res, err := s.evalOp(ctx, q)
+	if err != nil {
+		span.SetStr("error", err.Error())
+	}
+	span.End()
+	return res, err
+}
+
+func (s *Service) evalOp(ctx context.Context, q Query) (any, error) {
 	switch q.Op {
 	case OpPlan:
-		return s.evalPlan(q)
+		return s.evalPlan(ctx, q)
 	case OpSearchTime:
-		return s.evalSearchTime(q)
+		return s.evalSearchTime(ctx, q)
 	case OpSearchTimes:
-		return s.evalSearchTimes(q)
+		return s.evalSearchTimes(ctx, q)
 	case OpTimeline:
-		return s.evalTimeline(q)
+		return s.evalTimeline(ctx, q)
 	case OpLowerBound:
 		return s.evalLowerBound(q)
 	}
 	return nil, badRequest("unknown op %q", q.Op)
 }
 
-func (s *Service) evalPlan(q Query) (any, error) {
-	plan, err := s.cache.Get(q.key())
+// plan fetches the cached (or freshly built) plan for q, annotating
+// the surrounding span with the cache outcome.
+func (s *Service) plan(ctx context.Context, q Query) (*Plan, error) {
+	plan, hit, err := s.cache.GetCtx(ctx, q.key())
+	telemetry.SpanFrom(ctx).SetBool("cache_hit", hit)
+	return plan, err
+}
+
+func (s *Service) evalPlan(ctx context.Context, q Query) (any, error) {
+	plan, err := s.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +295,10 @@ func (s *Service) evalPlan(q Query) (any, error) {
 	if horizon == 0 {
 		horizon = 50 * q.MinDist
 	}
+	_, geom := telemetry.StartSpan(ctx, "plan.geometry")
 	pts, err := plan.Searcher.TurningPoints(horizon)
 	if err != nil {
+		geom.End()
 		return nil, err
 	}
 	robots := make([][]pointJSON, len(pts))
@@ -287,6 +312,8 @@ func (s *Service) evalPlan(q Query) (any, error) {
 		}
 	}
 	bounds, err := linesearch.Bounds(q.N, q.F)
+	geom.SetInt("robots", int64(len(robots)))
+	geom.End()
 	if err != nil {
 		return nil, err
 	}
@@ -306,8 +333,8 @@ func (s *Service) evalPlan(q Query) (any, error) {
 	}, nil
 }
 
-func (s *Service) evalSearchTime(q Query) (any, error) {
-	plan, err := s.cache.Get(q.key())
+func (s *Service) evalSearchTime(ctx context.Context, q Query) (any, error) {
+	plan, err := s.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -339,12 +366,12 @@ func (s *Service) evalSearchTime(q Query) (any, error) {
 	return res, nil
 }
 
-func (s *Service) evalSearchTimes(q Query) (any, error) {
-	plan, err := s.cache.Get(q.key())
+func (s *Service) evalSearchTimes(ctx context.Context, q Query) (any, error) {
+	plan, err := s.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	times, err := plan.Searcher.SearchTimes(q.Xs)
+	times, err := plan.Searcher.SearchTimesContext(ctx, q.Xs)
 	if err != nil {
 		return nil, err
 	}
@@ -364,8 +391,8 @@ func (s *Service) evalSearchTimes(q Query) (any, error) {
 	return res, nil
 }
 
-func (s *Service) evalTimeline(q Query) (any, error) {
-	plan, err := s.cache.Get(q.key())
+func (s *Service) evalTimeline(ctx context.Context, q Query) (any, error) {
+	plan, err := s.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -388,7 +415,10 @@ func (s *Service) evalTimeline(q Query) (any, error) {
 			tmax = 100 * math.Abs(q.X)
 		}
 	}
+	_, span := telemetry.StartSpan(ctx, "timeline.events")
 	events, err := searcher.Timeline(q.X, faulty, tmax)
+	span.SetInt("events", int64(len(events)))
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -597,7 +627,7 @@ func (s *Service) handleQuery(op string) http.HandlerFunc {
 			s.writeError(w, statusOf(err), err.Error())
 			return
 		}
-		res, err := s.eval(q)
+		res, err := s.eval(r.Context(), q)
 		if err != nil {
 			s.writeError(w, statusOf(err), err.Error())
 			return
@@ -646,14 +676,18 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	items := make([]BatchItem, len(req.Queries))
-	err := forEach(r.Context(), len(req.Queries), s.cfg.BatchWorkers, func(i int) {
-		res, err := s.eval(req.Queries[i])
+	ctx, span := telemetry.StartSpan(r.Context(), "batch.fanout")
+	span.SetInt("queries", int64(len(req.Queries)))
+	span.SetInt("workers", int64(s.cfg.BatchWorkers))
+	err := forEach(ctx, len(req.Queries), s.cfg.BatchWorkers, func(i int) {
+		res, err := s.eval(ctx, req.Queries[i])
 		if err != nil {
 			items[i] = BatchItem{OK: false, Error: err.Error()}
 			return
 		}
 		items[i] = BatchItem{OK: true, Result: res}
 	})
+	span.End()
 	if err != nil {
 		// The client went away or the request timed out mid-batch.
 		s.writeError(w, http.StatusServiceUnavailable, "batch cancelled: "+err.Error())
@@ -668,10 +702,21 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics exports the counters as expvar-style JSON.
+// handleMetrics exports the counters. The default is the expvar-style
+// JSON snapshot (byte-compatible with PR 4 for pre-existing fields);
+// clients negotiating text/plain or OpenMetrics via the Accept header
+// — i.e. a Prometheus scraper — get the text exposition format
+// instead. ?format=prometheus|json overrides the negotiation.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK,
-		s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats(), s.resilience()))
+	snap := s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats(), s.resilience())
+	snap.Traces = s.tracer.Stats()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, snap)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
 // resilience snapshots the admission-control and fault-injection

@@ -2,11 +2,15 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The last
@@ -59,6 +63,10 @@ func (m *endpointMetrics) observe(status int, d time.Duration) {
 type Metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+
+	dropped  atomic.Int64
+	warnOnce sync.Once
+	logger   *slog.Logger
 }
 
 // NewMetrics returns a registry with the given endpoint names
@@ -71,13 +79,28 @@ func NewMetrics(endpoints ...string) *Metrics {
 	return m
 }
 
+// SetLogger wires the logger used for misregistration warnings. Call
+// before serving; nil leaves dropped observations counted but silent.
+func (m *Metrics) SetLogger(l *slog.Logger) { m.logger = l }
+
 // Observe records a finished request against a registered endpoint.
-// Unknown endpoints are dropped (programming error, not worth a panic
-// on the serving path).
+// Observations for unknown endpoints are dropped — a misregistration,
+// not worth a panic on the serving path — but counted in the snapshot
+// as dropped_observations and warned about once, so the mistake is
+// visible instead of invisible.
 func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
-	if em, ok := m.endpoints[endpoint]; ok {
-		em.observe(status, d)
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		m.dropped.Add(1)
+		if m.logger != nil {
+			m.warnOnce.Do(func() {
+				m.logger.Warn("metrics observation dropped for unregistered endpoint"+
+					" (further drops are counted, not logged)", "endpoint", endpoint)
+			})
+		}
+		return
 	}
+	em.observe(status, d)
 }
 
 // EndpointSnapshot is the exported per-endpoint state.
@@ -106,7 +129,46 @@ type ResilienceStats struct {
 	FaultsInjected   int64            `json:"faults_injected"`
 }
 
-// Snapshot is the full /metrics payload.
+// RuntimeStats are expvar-style process statistics: cheap point-in-
+// time reads of the scheduler and the memory subsystem, enough to see
+// a leak, a GC storm or goroutine pileup from /metrics alone.
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	HeapObjects         uint64  `json:"heap_objects"`
+	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	GCRuns              uint32  `json:"gc_runs"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	LastGCPauseSeconds  float64 `json:"last_gc_pause_seconds"`
+}
+
+// collectRuntime reads the process stats. ReadMemStats is a
+// stop-the-world on the order of tens of microseconds — fine at
+// metrics-scrape cadence, not for per-request paths.
+func collectRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		HeapObjects:         ms.HeapObjects,
+		TotalAllocBytes:     ms.TotalAlloc,
+		GCRuns:              ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	return rs
+}
+
+// Snapshot is the full /metrics payload. Every field present in PR 4
+// keeps its shape; dropped_observations, runtime and traces are
+// additive.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
@@ -116,6 +178,14 @@ type Snapshot struct {
 	Sweeps sweep.ManagerStats `json:"sweeps"`
 	// Resilience carries the shed/fault counters (see ResilienceStats).
 	Resilience ResilienceStats `json:"resilience"`
+	// DroppedObservations counts Observe calls for endpoints nobody
+	// registered (a wiring bug that used to be silent).
+	DroppedObservations int64 `json:"dropped_observations"`
+	// Runtime carries the expvar-style process stats.
+	Runtime RuntimeStats `json:"runtime"`
+	// Traces carries the request-tracer counters (see
+	// telemetry.TracerStats).
+	Traces telemetry.TracerStats `json:"traces"`
 }
 
 // Snapshot exports every counter. Cumulative bucket values follow the
@@ -123,11 +193,13 @@ type Snapshot struct {
 // or below its bound; "+Inf" equals count).
 func (m *Metrics) Snapshot(cache CacheStats, sweeps sweep.ManagerStats, res ResilienceStats) Snapshot {
 	out := Snapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
-		Cache:         cache,
-		Sweeps:        sweeps,
-		Resilience:    res,
+		UptimeSeconds:       time.Since(m.start).Seconds(),
+		Endpoints:           make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Cache:               cache,
+		Sweeps:              sweeps,
+		Resilience:          res,
+		DroppedObservations: m.dropped.Load(),
+		Runtime:             collectRuntime(),
 	}
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
+	"log/slog"
 	"strings"
 	"testing"
 	"time"
@@ -64,6 +66,38 @@ func TestMetricsHistogramCumulative(t *testing.T) {
 	}
 }
 
+// Observations against unregistered endpoints must be visible: counted
+// in dropped_observations and warned about exactly once.
+func TestMetricsDroppedObservations(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics("/a")
+	m.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	m.Observe("/a", 200, time.Millisecond)
+	m.Observe("/typo", 200, time.Millisecond)
+	m.Observe("/typo", 200, time.Millisecond)
+	m.Observe("/other-typo", 500, time.Millisecond)
+
+	snap := m.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{})
+	if snap.DroppedObservations != 3 {
+		t.Errorf("dropped_observations = %d, want 3", snap.DroppedObservations)
+	}
+	if got := strings.Count(buf.String(), "observation dropped"); got != 1 {
+		t.Errorf("warned %d times, want exactly once:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "endpoint=/typo") {
+		t.Errorf("warning does not name the endpoint:\n%s", buf.String())
+	}
+}
+
+// A logger-less registry still counts drops without panicking.
+func TestMetricsDroppedObservationsNoLogger(t *testing.T) {
+	m := NewMetrics("/a")
+	m.Observe("/typo", 200, time.Millisecond)
+	if got := m.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{}).DroppedObservations; got != 1 {
+		t.Errorf("dropped_observations = %d, want 1", got)
+	}
+}
+
 func TestMetricsSnapshotMarshals(t *testing.T) {
 	m := NewMetrics(endpointNames...)
 	m.Observe("/v1/plan", 200, time.Millisecond)
@@ -72,7 +106,8 @@ func TestMetricsSnapshotMarshals(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := string(data)
-	for _, want := range []string{`"uptime_seconds"`, `"/v1/plan"`, `"hits":3`, `"+Inf"`} {
+	for _, want := range []string{`"uptime_seconds"`, `"/v1/plan"`, `"hits":3`, `"+Inf"`,
+		`"dropped_observations"`, `"runtime"`, `"goroutines"`, `"heap_alloc_bytes"`, `"traces"`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("snapshot JSON missing %s:\n%s", want, s)
 		}

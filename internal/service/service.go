@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry"
 )
 
 // Config tunes the service. The zero value gets sensible defaults.
@@ -59,8 +60,13 @@ type Config struct {
 	// requests (default 16; negative means unlimited).
 	MaxInflightSweeps int
 	// Logger receives structured access and error logs (default
-	// slog.Default()).
+	// slog.Default()). New wraps its handler with telemetry trace-ID
+	// attribution, so sampled requests' log lines carry trace_id.
 	Logger *slog.Logger
+	// Tracer samples requests into /debug/traces. When nil, New creates
+	// one that traces every request with telemetry defaults; pass an
+	// explicitly configured tracer to set the sampling rate and buffer.
+	Tracer *telemetry.Tracer
 	// Build overrides plan construction (tests only).
 	Build BuildFunc
 	// Sweeps is the background sweep-job manager. When nil, New creates
@@ -77,15 +83,19 @@ type Service struct {
 	cache    *PlanCache
 	metrics  *Metrics
 	logger   *slog.Logger
+	tracer   *telemetry.Tracer
 	sweeps   *sweep.Manager
 	limiters map[string]*classLimiter
 }
 
-// endpointNames are the metric keys, one per route.
+// endpointNames are the metric keys, one per route. PR 3 wired the
+// /v1/searchtimes route but never registered it here, so its
+// observations were silently dropped — the exact misregistration the
+// dropped_observations counter now makes visible.
 var endpointNames = []string{
-	"/v1/plan", "/v1/searchtime", "/v1/timeline", "/v1/lowerbound",
+	"/v1/plan", "/v1/searchtime", "/v1/searchtimes", "/v1/timeline", "/v1/lowerbound",
 	"/v1/batch", "/v1/sweeps", "/v1/sweeps/{id}", "/v1/sweeps/{id}/result",
-	"/healthz", "/metrics",
+	"/healthz", "/metrics", "/debug/traces",
 }
 
 // New builds a Service from cfg, applying defaults for zero fields.
@@ -105,8 +115,14 @@ func New(cfg Config) *Service {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	// Trace-ID attribution on every log line that carries a request
+	// context, regardless of how the caller built the logger.
+	cfg.Logger = slog.New(telemetry.WrapHandler(cfg.Logger.Handler()))
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.New(telemetry.Config{})
+	}
 	if cfg.Sweeps == nil {
-		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger})
+		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger, Tracer: cfg.Tracer})
 	}
 	if cfg.MaxInflightQuery == 0 {
 		cfg.MaxInflightQuery = 256
@@ -117,11 +133,12 @@ func New(cfg Config) *Service {
 	if cfg.MaxInflightSweeps == 0 {
 		cfg.MaxInflightSweeps = 16
 	}
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.CacheSize, cfg.Build),
 		metrics: NewMetrics(endpointNames...),
 		logger:  cfg.Logger,
+		tracer:  cfg.Tracer,
 		sweeps:  cfg.Sweeps,
 		limiters: map[string]*classLimiter{
 			classQuery:  newClassLimiter(classQuery, cfg.MaxInflightQuery),
@@ -129,7 +146,12 @@ func New(cfg Config) *Service {
 			classSweeps: newClassLimiter(classSweeps, cfg.MaxInflightSweeps),
 		},
 	}
+	s.metrics.SetLogger(cfg.Logger)
+	return s
 }
+
+// Tracer exposes the request tracer (for the debug surface and tests).
+func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Cache exposes the plan cache (stats are also on /metrics).
 func (s *Service) Cache() *PlanCache { return s.cache }
@@ -167,6 +189,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("DELETE /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepCancel))
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleDebugTraces)))
 
 	var h http.Handler = mux
 	h = s.recoverPanics(h)

@@ -10,6 +10,7 @@ import (
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
+	"linesearch/internal/telemetry"
 )
 
 // fpSweepEval is the fault point at the head of every cell evaluation;
@@ -103,21 +104,29 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 	if err := faultpoint.Hit(fpSweepEval); err != nil {
 		return failedCell(p, err)
 	}
+	_, planSpan := telemetry.StartSpan(ctx, "cell.plan")
 	st, err := resolveStrategy(p.Strategy, p.N, p.F)
 	if err != nil {
+		planSpan.End()
 		return failedCell(p, err)
 	}
+	planSpan.SetStr("resolved", st.Name())
 	plan, err := sim.FromStrategy(st, p.N, p.F)
+	planSpan.End()
 	if err != nil {
 		return failedCell(p, err)
 	}
+	_, compileSpan := telemetry.StartSpan(ctx, "cell.compile")
 	kernel, err := compiled.Compile(plan)
+	compileSpan.End()
 	if err != nil {
 		return failedCell(p, err)
 	}
 	if ctx.Err() != nil {
 		return failedCell(p, ctx.Err())
 	}
+	_, crSpan := telemetry.StartSpan(ctx, "cell.cr")
+	crSpan.SetInt("grid_points", int64(p.GridPoints))
 	res, err := kernel.CR(sim.CROptions{
 		XMin:       p.XMin,
 		XMax:       p.XMax,
@@ -126,6 +135,7 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 		// Cells are the unit of parallelism; one worker per cell.
 		Parallelism: 1,
 	})
+	crSpan.End()
 	if err != nil {
 		return failedCell(p, err)
 	}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"linesearch/internal/telemetry"
 )
 
 // Config tunes a Manager. The zero value gets sensible defaults.
@@ -43,6 +45,9 @@ type Config struct {
 	Seed int64
 	// Logger receives job lifecycle logs (default slog.Default()).
 	Logger *slog.Logger
+	// Tracer samples per-cell traces into the shared debug ring buffer.
+	// Nil disables cell tracing; latency histograms are kept regardless.
+	Tracer *telemetry.Tracer
 	// Eval overrides the cell evaluator (tests only).
 	Eval EvalFunc
 }
@@ -67,6 +72,9 @@ type ManagerStats struct {
 	// RunningJobs and PendingJobs are point-in-time gauges.
 	RunningJobs int `json:"running_jobs"`
 	PendingJobs int `json:"pending_jobs"`
+	// CellLatency is the wall-clock distribution of complete cell
+	// evaluations (all attempts plus backoff included).
+	CellLatency telemetry.HistogramSnapshot `json:"cell_latency_seconds"`
 }
 
 // Manager owns sweep jobs: submission, slot-bounded execution,
@@ -90,6 +98,18 @@ type Manager struct {
 	submitted, resumedJobs, completed, failed, cancelled atomic.Int64
 	cellsComputed, cellsResumed, cellErrors              atomic.Int64
 	cellRetries, cellsQuarantined, checkpointFailures    atomic.Int64
+
+	// cellLatency is always on (Observe is atomic and allocation-free);
+	// the bounds stretch past request scale because one cell can spend
+	// seconds in retry backoff.
+	cellLatency *telemetry.Histogram
+}
+
+// cellLatencyBuckets extends the request-scale bounds with a long tail
+// for retried and quarantined cells.
+var cellLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
 // NewManager returns a Manager with defaults applied. Startup sweeps
@@ -132,12 +152,13 @@ func NewManager(cfg Config) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		slots:  make(chan struct{}, cfg.MaxActiveJobs),
-		jobs:   make(map[string]*Job),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		slots:       make(chan struct{}, cfg.MaxActiveJobs),
+		jobs:        make(map[string]*Job),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cellLatency: telemetry.NewHistogram(cellLatencyBuckets...),
 	}
 	if n, err := cleanupOrphans(cfg.Dir); err != nil {
 		cfg.Logger.Warn("sweep orphan cleanup", "dir", cfg.Dir, "err", err)
@@ -263,6 +284,7 @@ func (m *Manager) Stats() ManagerStats {
 		CellRetries:        m.cellRetries.Load(),
 		CellsQuarantined:   m.cellsQuarantined.Load(),
 		CheckpointFailures: m.checkpointFailures.Load(),
+		CellLatency:        m.cellLatency.Snapshot(),
 	}
 	m.mu.Lock()
 	for _, j := range m.jobs {

@@ -13,7 +13,34 @@ import (
 // fails the job loudly at finalize. Permanent failures (infeasible
 // pairs, out-of-regime strategies) are data and return immediately;
 // cancellation stops retrying without recording anything.
+//
+// Each cell is offered to the manager's tracer as its own root trace
+// ("sweep.cell") so slow or retried cells show up on /debug/traces
+// next to request traces; the latency histogram is unconditional.
 func (m *Manager) evalResilient(ctx context.Context, p CellParams) Cell {
+	start := time.Now()
+	ctx, span := m.cfg.Tracer.StartRequest(ctx, "sweep.cell", "")
+	if span != nil {
+		span.SetInt("cell", int64(p.Index))
+		span.SetInt("n", int64(p.N))
+		span.SetInt("f", int64(p.F))
+		span.SetStr("strategy", p.Strategy)
+	}
+	cell := m.evalAttempts(ctx, p)
+	if span != nil {
+		span.SetInt("attempts", int64(cell.Attempts))
+		span.SetBool("quarantined", cell.Quarantined)
+		if cell.Err != "" {
+			span.SetStr("error", cell.Err)
+		}
+		span.End()
+	}
+	m.cellLatency.Observe(time.Since(start))
+	return cell
+}
+
+// evalAttempts is the retry loop proper.
+func (m *Manager) evalAttempts(ctx context.Context, p CellParams) Cell {
 	var cell Cell
 	for attempt := 1; ; attempt++ {
 		cell = m.evalSafely(ctx, p)

@@ -41,10 +41,10 @@ func TestSpecDefaultsAndValidation(t *testing.T) {
 	}
 
 	bad := []Spec{
-		{F: []int{1}},                                  // no n
-		{N: []int{3}},                                  // no f
-		{N: []int{0}, F: []int{1}},                     // n < 1
-		{N: []int{3}, F: []int{-1}},                    // f < 0
+		{F: []int{1}},               // no n
+		{N: []int{3}},               // no f
+		{N: []int{0}, F: []int{1}},  // n < 1
+		{N: []int{3}, F: []int{-1}}, // f < 0
 		{N: []int{3}, F: []int{1}, Strategies: []string{"nope"}},
 		{N: []int{3}, F: []int{1}, Betas: []float64{1}},
 		{N: []int{3}, F: []int{1}, Betas: []float64{math.NaN()}},
@@ -168,7 +168,7 @@ func TestSweepCollectsCellErrors(t *testing.T) {
 	defer m.Close()
 	j, err := m.Submit(Spec{
 		N:          []int{2},
-		F:          []int{2, 1}, // n=f=2 is hopeless; (2,1) is fine
+		F:          []int{2, 1},                        // n=f=2 is hopeless; (2,1) is fine
 		Strategies: []string{StrategyAuto, "twogroup"}, // twogroup invalid for (2,1)
 		XMax:       50,
 	})

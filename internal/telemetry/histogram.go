@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are histogram upper bounds in seconds suited
+// to request-scale latencies; the implicit final bucket is +Inf.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket duration histogram on atomics: Observe
+// never takes a lock and never allocates. Bounds are in seconds,
+// ascending; the final +Inf bucket is implicit.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; last is +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds in seconds (DefaultLatencyBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration. Safe for concurrent use; a nil
+// histogram drops the observation.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	idx := len(h.bounds)
+	for i, ub := range h.bounds {
+		if secs <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// HistogramSnapshot is the exported histogram state: cumulative bucket
+// counts keyed by upper bound (Prometheus convention: each bucket
+// counts observations at or below its bound, "+Inf" equals count),
+// plus count and the sum in seconds.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot exports the histogram. A nil histogram reports an empty
+// (but valid) snapshot with no buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{Buckets: map[string]int64{}}
+	}
+	out := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     float64(h.sumNanos.Load()) / 1e9,
+		Buckets: make(map[string]int64, len(h.bounds)+1),
+	}
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		out.Buckets[fmt.Sprintf("%g", ub)] = cum
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out.Buckets["+Inf"] = cum
+	return out
+}

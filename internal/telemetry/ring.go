@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ringStripes is the stripe count of the completed-trace ring. Traces
+// complete concurrently from every serving goroutine; striping the
+// buffer keeps insertion from funnelling through one mutex.
+const ringStripes = 8
+
+// traceRing is a fixed-capacity, lock-striped ring buffer of completed
+// traces. Inserts round-robin across stripes with an atomic counter;
+// each stripe overwrites its own oldest entry when full.
+type traceRing struct {
+	next    atomic.Uint64
+	stripes [ringStripes]ringStripe
+}
+
+type ringStripe struct {
+	mu      sync.Mutex
+	buf     []TraceSnapshot
+	pos     int
+	evicted int64
+}
+
+// newTraceRing returns a ring retaining about capacity traces,
+// distributed evenly over the stripes.
+func newTraceRing(capacity int) *traceRing {
+	per := (capacity + ringStripes - 1) / ringStripes
+	if per < 1 {
+		per = 1
+	}
+	r := &traceRing{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]TraceSnapshot, 0, per)
+	}
+	return r
+}
+
+// add stores one completed trace, evicting the stripe's oldest when
+// the stripe is full.
+func (r *traceRing) add(t TraceSnapshot) {
+	s := &r.stripes[r.next.Add(1)%ringStripes]
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, t)
+	} else {
+		s.buf[s.pos] = t
+		s.pos = (s.pos + 1) % len(s.buf)
+		s.evicted++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies out every retained trace.
+func (r *traceRing) snapshot() []TraceSnapshot {
+	var out []TraceSnapshot
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.buf...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// stats reports total evictions and the current buffered count.
+func (r *traceRing) stats() (evicted int64, buffered int) {
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		evicted += s.evicted
+		buffered += len(s.buf)
+		s.mu.Unlock()
+	}
+	return evicted, buffered
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// traceHandler decorates records with the trace ID carried by the
+// log call's context, so every access-log line of a sampled request
+// can be joined against /debug/traces.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+// WrapHandler returns h extended with trace_id attribution: records
+// logged through context-aware calls (InfoContext, Log, LogAttrs) on a
+// context holding a sampled span gain a trace_id attribute. Wrapping
+// an already-wrapped handler is a no-op.
+func WrapHandler(h slog.Handler) slog.Handler {
+	if _, ok := h.(traceHandler); ok {
+		return h
+	}
+	return traceHandler{inner: h}
+}
+
+func (t traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return t.inner.Enabled(ctx, level)
+}
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return t.inner.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: t.inner.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: t.inner.WithGroup(name)}
+}

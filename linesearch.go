@@ -22,6 +22,7 @@
 package linesearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -118,12 +119,20 @@ func (s *Searcher) SearchTime(x float64) (float64, error) {
 // the same domain checks as SearchTime; the first invalid target fails
 // the batch.
 func (s *Searcher) SearchTimes(xs []float64) ([]float64, error) {
+	return s.SearchTimesContext(context.Background(), xs)
+}
+
+// SearchTimesContext is SearchTimes with trace plumbing: when ctx
+// carries a sampled telemetry trace, the kernel pass records a stage
+// span. An untraced context adds no allocations or locking over
+// SearchTimes.
+func (s *Searcher) SearchTimesContext(ctx context.Context, xs []float64) ([]float64, error) {
 	for _, x := range xs {
 		if err := s.checkTarget(x); err != nil {
 			return nil, err
 		}
 	}
-	return s.kernel.EvalMany(xs, nil), nil
+	return s.kernel.EvalManyCtx(ctx, xs, nil), nil
 }
 
 // KthVisitTime returns the time at which the k-th distinct robot first
