@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check lint chaos fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check lint chaos fuzz repro data serve sweep clean
 
 all: build test
 
@@ -42,6 +42,17 @@ bench-pr5:
 bench-pr5-check: bench-pr5
 	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json BENCH_pr5.json
 
+# Byzantine-era benchmarks: the crash hot paths plus the vote-rule
+# batch path (BenchmarkByzantineBatch). Writes BENCH_pr6.json.
+bench-pr6:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry ./internal/compiled | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr6.json
+
+# Fail when the crash-fault kernel regresses allocs/op against the PR 5
+# report — the vote rule must not cost the crash path anything.
+bench-pr6-check: bench-pr6
+	$(GO) run ./cmd/benchjson -compare BENCH_pr5.json BENCH_pr6.json
+
 # Static analysis beyond go vet. staticcheck is installed by CI; run
 # `go install honnef.co/go/tools/cmd/staticcheck@2025.1` to get it
 # locally.
@@ -60,9 +71,11 @@ chaos:
 bench-paper:
 	$(GO) test -bench . -benchmem .
 
-# Short fuzzing smoke over the public SearchTime entry point.
+# Short fuzzing smoke: the public SearchTime entry point, then the
+# Byzantine vote-rule kernel against the exact engine.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSearchTime -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzByzantineVote -fuzztime 30s ./internal/compiled
 
 # Regenerate every table and figure as text on stdout.
 repro:

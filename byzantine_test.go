@@ -1,0 +1,208 @@
+package linesearch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestByzantineSearcherAccessors checks that the fault-model surface
+// reports the configured detection rule and that detection waits for
+// the (f+votes)-th distinct visitor.
+func TestByzantineSearcherAccessors(t *testing.T) {
+	s, err := NewSearcher(5, 1, WithFaultModel("byzantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FaultModel() != "byzantine" {
+		t.Errorf("FaultModel() = %q", s.FaultModel())
+	}
+	if s.Votes() != 2 || s.DetectionRank() != 3 {
+		t.Errorf("Votes() = %d, DetectionRank() = %d, want 2, 3", s.Votes(), s.DetectionRank())
+	}
+	st, err := s.SearchTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kth, err := s.KthVisitTime(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st-kth) > 1e-12 {
+		t.Errorf("SearchTime %v != KthVisitTime(rank) %v", st, kth)
+	}
+
+	// Crash searchers report the paper's model.
+	c, err := New(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FaultModel() != "crash" || c.Votes() != 1 || c.DetectionRank() != 2 {
+		t.Errorf("crash searcher reports %q votes=%d rank=%d", c.FaultModel(), c.Votes(), c.DetectionRank())
+	}
+}
+
+// TestByzantineReducesToCrashAtRank pins the voting rule's closed form:
+// a byzantine searcher's worst case equals the crash searcher at the
+// effective budget rank-1.
+func TestByzantineReducesToCrashAtRank(t *testing.T) {
+	b, err := NewSearcher(5, 1, WithFaultModel("byzantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, -3.5, 7, -42, 99.25} {
+		tb, err := b.SearchTime(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := c.SearchTime(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tb-tc) > 1e-12 {
+			t.Errorf("x=%g: byzantine(5,1) %v != crash(5,2) %v", x, tb, tc)
+		}
+	}
+	crB, err := b.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crC, err := c.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(crB-crC) > 1e-12 {
+		t.Errorf("CR %v != %v", crB, crC)
+	}
+}
+
+// TestWithVotes exercises explicit thresholds and their validation.
+func TestWithVotes(t *testing.T) {
+	s, err := NewSearcher(5, 1, WithFaultModel("byzantine"), WithVotes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Votes() != 3 || s.DetectionRank() != 4 {
+		t.Errorf("votes=%d rank=%d, want 3, 4", s.Votes(), s.DetectionRank())
+	}
+	if _, err := NewSearcher(5, 1, WithVotes(2)); err == nil {
+		t.Error("WithVotes without byzantine model accepted")
+	}
+	if _, err := NewSearcher(5, 1, WithFaultModel("byzantine"), WithVotes(0)); err == nil {
+		t.Error("zero vote threshold accepted")
+	}
+	if _, err := NewSearcher(5, 1, WithFaultModel("lying")); err == nil {
+		t.Error("unknown fault model accepted")
+	}
+	// Rank 6 > n=5 is infeasible.
+	if _, err := NewSearcher(5, 1, WithFaultModel("byzantine"), WithVotes(5)); err == nil {
+		t.Error("infeasible vote threshold accepted")
+	}
+	// Double byzantine selection is ambiguous.
+	if _, err := NewSearcher(5, 1, WithFaultModel("byzantine"), WithStrategy("byzantine")); err == nil {
+		t.Error("byzantine model over byzantine strategy accepted")
+	}
+}
+
+// TestWithFaultModelComposesBase checks that an explicit crash strategy
+// becomes the voting family's base.
+func TestWithFaultModelComposesBase(t *testing.T) {
+	s, err := NewSearcher(5, 1, WithFaultModel("byzantine"), WithStrategy("doubling"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Strategy() != "byzantine:doubling" {
+		t.Errorf("Strategy() = %q", s.Strategy())
+	}
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cr-9) > 1e-12 {
+		t.Errorf("doubling base CR %v, want 9", cr)
+	}
+	// crash model is the explicit default.
+	c, err := NewSearcher(5, 1, WithFaultModel("crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Strategy() != "twogroup" || c.FaultModel() != "crash" {
+		t.Errorf("crash searcher: %q / %q", c.Strategy(), c.FaultModel())
+	}
+}
+
+// TestTimelineFaults drives the liar surface end to end: a lying robot
+// plants exactly one false claim at the mirror position, truthful
+// claims accumulate, and detection still fires at the worst-case time.
+func TestTimelineFaults(t *testing.T) {
+	s, err := NewSearcher(5, 1, WithFaultModel("byzantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const x = 7.0
+	worst := s.WorstFaultSet(x)
+	if len(worst) != 1 {
+		t.Fatalf("worst fault set %v, want 1 robot", worst)
+	}
+	want, err := s.SearchTime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := s.TimelineFaults(x, nil, worst, 4*want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var claims, falseClaims, detects int
+	var detectT float64
+	for _, e := range events {
+		switch e.Kind {
+		case "claim":
+			claims++
+		case "false-claim":
+			falseClaims++
+			if e.X != -x {
+				t.Errorf("false claim at %g, want mirror %g", e.X, -x)
+			}
+			if e.Robot != worst[0] {
+				t.Errorf("false claim by robot %d, want liar %d", e.Robot, worst[0])
+			}
+		case "detect":
+			detects++
+			detectT = e.T
+		}
+	}
+	if claims < 2 || falseClaims != 1 || detects != 1 {
+		t.Fatalf("claims=%d false=%d detects=%d", claims, falseClaims, detects)
+	}
+	if math.Abs(detectT-want) > 1e-12 {
+		t.Errorf("detect at %v, want SearchTime %v", detectT, want)
+	}
+
+	// Validation: liars need the byzantine model, assignments must be
+	// disjoint and within budget.
+	c, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TimelineFaults(x, nil, []int{0}, 100); err == nil ||
+		!strings.Contains(err.Error(), "byzantine") {
+		t.Errorf("crash plan accepted a liar: %v", err)
+	}
+	if _, err := s.TimelineFaults(x, []int{0}, []int{0}, 100); err == nil {
+		t.Error("overlapping silent/liar lists accepted")
+	}
+	if _, err := s.TimelineFaults(x, []int{0}, []int{1}, 100); err == nil {
+		t.Error("over-budget assignment accepted")
+	}
+	if _, err := s.TimelineFaults(x, nil, []int{9}, 100); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Crash plans still take silent robots.
+	if _, err := c.TimelineFaults(x, []int{0}, nil, 100); err != nil {
+		t.Errorf("crash plan rejected a silent robot: %v", err)
+	}
+}

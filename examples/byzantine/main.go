@@ -1,0 +1,72 @@
+// Byzantine: search with lying robots. Five robots leave the origin; at
+// most one is Byzantine — it may stay silent at the target or actively
+// plant a false "target found" claim elsewhere. Detection waits for
+// enough distinct truthful claims to outvote any liar coalition: with
+// f=1 and the default threshold f+1=2, the search accepts the target at
+// the 3rd distinct visitor (rank f+votes).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linesearch"
+)
+
+func main() {
+	// The byzantine fault model wraps the paper's crash machinery: the
+	// schedule is the recommended crash strategy at the effective
+	// budget rank-1, so every closed form still applies.
+	s, err := linesearch.NewSearcher(5, 1, linesearch.WithFaultModel("byzantine"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy: %s (model %s, %d votes, detection rank %d)\n",
+		s.Strategy(), s.FaultModel(), s.Votes(), s.DetectionRank())
+
+	cr, err := s.CompetitiveRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("competitive ratio: %.4f (equals the crash pair n=5, f'=%d)\n\n",
+		cr, s.DetectionRank()-1)
+
+	// A target hides at x = 7. The worst case is the same whether the
+	// Byzantine robot lies or stays silent: lies never delay the vote.
+	const target = 7.0
+	worst, err := s.SearchTime(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target at x = %g: accepted within t = %.4f (ratio %.4f)\n", target, worst, worst/target)
+
+	// Replay a search where the adversary's robot actively lies: it
+	// plants a false claim at the mirror position -x. The vote rule
+	// shrugs it off — a single claim never reaches the threshold.
+	liar := s.WorstFaultSet(target)
+	fmt.Printf("designated liar: robot %v\n\n", liar)
+	events, err := s.TimelineFaults(target, nil, liar, 4*worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("event timeline (claims accumulate until the vote passes):")
+	for _, e := range events {
+		switch e.Kind {
+		case "claim", "false-claim", "detect":
+			fmt.Printf("  t=%-10.4f robot %d %-12s x=%.4f\n", e.T, e.Robot, e.Kind, e.X)
+		}
+	}
+
+	// A stricter threshold buys confirmation at the price of time:
+	// votes=3 waits for the 4th distinct visitor.
+	strict, err := linesearch.NewSearcher(5, 1,
+		linesearch.WithFaultModel("byzantine"), linesearch.WithVotes(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t3, err := strict.SearchTime(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith votes=3 (rank %d): accepted within t = %.4f\n", strict.DetectionRank(), t3)
+}

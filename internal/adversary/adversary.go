@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"linesearch/internal/analysis"
+	"linesearch/internal/fault"
 	"linesearch/internal/sim"
 	"linesearch/internal/trajectory"
 )
@@ -193,9 +194,15 @@ func PlayLadder(p *sim.Plan, ladder Ladder) (GameResult, error) {
 
 // VerifyTheorem2 plays the adversary against the plan and returns an
 // error if the plan beats the proven lower bound — which would disprove
-// the theorem (or reveal a simulator bug). Plans with n >= 2f+2 robots
-// are outside the theorem's hypothesis and are rejected.
+// the theorem (or reveal a simulator bug). The theorem is stated for
+// the crash model, so Byzantine plans are rejected (their worst case
+// is governed by the reduction to a crash plan at budget rank-1, which
+// can be verified directly). Plans with n >= 2f+2 robots are outside
+// the theorem's hypothesis and are rejected too.
 func VerifyTheorem2(p *sim.Plan) (GameResult, error) {
+	if m := p.Model(); m.Kind != fault.ModelCrash {
+		return GameResult{}, fmt.Errorf("adversary: Theorem 2 is a crash-model bound, plan uses %s", m)
+	}
 	if p.N() >= 2*p.F()+2 {
 		return GameResult{}, fmt.Errorf("adversary: Theorem 2 needs n < 2f+2, got n=%d, f=%d", p.N(), p.F())
 	}

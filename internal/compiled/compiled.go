@@ -96,13 +96,19 @@ type ctraj struct {
 }
 
 // Plan is a compiled search plan: one compiled trajectory per robot
-// plus the fault budget. It is immutable and safe for concurrent use;
-// per-query scratch lives in Evaluators (see eval.go).
+// plus the fault model's budget and detection rank. It is immutable and
+// safe for concurrent use; per-query scratch lives in Evaluators (see
+// eval.go).
 type Plan struct {
 	robots []*ctraj
 	f      int
-	src    *sim.Plan
-	evals  evaluatorPool
+	// rank is the distinct-visitor rank at which the source plan's
+	// detection rule fires: f+1 in the crash model, f+votes under the
+	// Byzantine voting rule. The kernel's selection path is identical
+	// either way — only k changes.
+	rank  int
+	src   *sim.Plan
+	evals evaluatorPool
 }
 
 // Compile flattens every trajectory of p into the binary-searchable
@@ -118,7 +124,7 @@ func CompileOptions(p *sim.Plan, opts Options) (*Plan, error) {
 	}
 	opts = opts.withDefaults()
 	trajs := p.Trajectories()
-	cp := &Plan{robots: make([]*ctraj, len(trajs)), f: p.F(), src: p}
+	cp := &Plan{robots: make([]*ctraj, len(trajs)), f: p.F(), rank: p.DetectionRank(), src: p}
 	shared := make(map[*trajectory.Trajectory]*ctraj, len(trajs))
 	for i, tr := range trajs {
 		if ct, ok := shared[tr]; ok {
@@ -141,6 +147,10 @@ func (p *Plan) N() int { return len(p.robots) }
 
 // F returns the fault budget.
 func (p *Plan) F() int { return p.f }
+
+// DetectionRank returns the distinct-visitor rank at which detection is
+// guaranteed, mirroring sim.Plan.DetectionRank.
+func (p *Plan) DetectionRank() int { return p.rank }
 
 // Source returns the sim.Plan this plan was compiled from.
 func (p *Plan) Source() *sim.Plan { return p.src }

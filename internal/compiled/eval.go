@@ -92,10 +92,11 @@ func (e *Evaluator) KthDistinctVisit(x float64, k int) (float64, error) {
 }
 
 // SearchTime returns the worst-case detection time for a target at x:
-// the first visit of the (f+1)-st distinct robot, +Inf if fewer than
-// f+1 robots ever visit. Matches sim.Plan.SearchTime.
+// the first visit of the DetectionRank-th distinct robot ((f+1)-st in
+// the crash model, (f+votes)-th under the Byzantine voting rule), +Inf
+// if fewer robots ever visit. Matches sim.Plan.SearchTime.
 func (e *Evaluator) SearchTime(x float64) float64 {
-	k := e.plan.f + 1
+	k := e.plan.rank
 	m := e.gatherVisits(x)
 	if m < k {
 		return math.Inf(1)

@@ -1,0 +1,84 @@
+package fault
+
+import "fmt"
+
+// MaxEnumeration bounds how many assignments EnumerateSets will
+// materialise; beyond it the enumeration is refused rather than
+// silently truncated. Sum_{j<=f} C(n,j)*kinds^j grows fast, and the
+// exhaustive adversary is a verification tool for small fleets, not a
+// production code path.
+const MaxEnumeration = 1 << 20
+
+// EnumerateSets returns every fault assignment the model's adversary
+// can choose against n robots: each subset of at most m.F robots, each
+// faulty robot taking any kind the model admits. The all-reliable
+// assignment is always first; order is deterministic (subsets in
+// lexicographic order of faulty indices, kinds in FaultyKinds order per
+// robot, varied fastest at the highest index).
+//
+// The worst-case detection time of a plan is the maximum of
+// DetectionTime over exactly this space — the differential tests use
+// the enumeration to certify the closed-form voting rule.
+func EnumerateSets(n int, m Model) ([]Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fault: enumeration needs at least one robot, got %d", n)
+	}
+	if m.F < 0 || m.F >= n {
+		return nil, fmt.Errorf("fault: fault budget f=%d out of range [0, %d)", m.F, n)
+	}
+	kinds := m.FaultyKinds()
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("fault: model %s admits no faulty kinds", m)
+	}
+	total := countAssignments(n, m.F, len(kinds))
+	if total > MaxEnumeration {
+		return nil, fmt.Errorf("fault: %d assignments for n=%d under %s exceed the enumeration cap %d", total, n, m, MaxEnumeration)
+	}
+
+	out := make([]Set, 0, total)
+	base := make(Set, n)
+	out = append(out, base.Clone())
+
+	// choose extends the current subset of faulty robots by indices
+	// >= next, assigning every admissible kind combination.
+	var choose func(next, remaining int, cur Set)
+	choose = func(next, remaining int, cur Set) {
+		if remaining == 0 {
+			return
+		}
+		for i := next; i < n; i++ {
+			for _, k := range kinds {
+				cur[i] = k
+				out = append(out, cur.Clone())
+				choose(i+1, remaining-1, cur)
+			}
+			cur[i] = Reliable
+		}
+	}
+	choose(0, m.F, base)
+	return out, nil
+}
+
+// countAssignments computes sum_{j=0..f} C(n,j) * kinds^j, saturating
+// above MaxEnumeration+1 to keep the arithmetic overflow-free.
+func countAssignments(n, f, kinds int) int {
+	const limit = MaxEnumeration + 1
+	total := 0
+	// binom walks C(n, j) incrementally.
+	binom := 1
+	pow := 1
+	for j := 0; j <= f; j++ {
+		if j > 0 {
+			binom = binom * (n - j + 1) / j
+			pow *= kinds
+			if binom > limit/pow {
+				return limit
+			}
+		}
+		total += binom * pow
+		if total > limit {
+			return limit
+		}
+	}
+	return total
+}

@@ -1,0 +1,200 @@
+// Package fault is the first-class fault taxonomy of the repository:
+// what a faulty robot is allowed to do, how concrete fault assignments
+// are represented, and which detection rule a search plan must apply to
+// be sound against that adversary.
+//
+// The crash model of the source paper (Czyzowicz et al., PODC 2016) has
+// exactly one faulty behaviour: a crash-faulty robot follows its
+// trajectory but never announces the target. The Byzantine model
+// (Kranakis et al., "Search on a Line by Byzantine Robots",
+// arXiv:1611.08209) adds lying: a Byzantine robot may stay silent about
+// a target it stands on, or claim "target found" at a position where
+// there is none. Soundness then needs a voting rule — a claim is
+// accepted only once enough distinct robots have made it that the
+// claims cannot all come from liars — instead of trusting the first
+// announcement.
+//
+// The taxonomy is deliberately open-ended: the probabilistically faulty
+// model of arXiv:2002.07797 (detection fails with probability p) and
+// delay faults slot in as new Kind values without touching the Set and
+// Model machinery.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one robot's behaviour.
+type Kind uint8
+
+const (
+	// Reliable robots follow their trajectory and truthfully announce
+	// the target at their first visit.
+	Reliable Kind = iota
+	// Crash robots follow their trajectory but never announce anything
+	// (the source paper's fault model).
+	Crash
+	// ByzantineSilent robots behave like crash robots — they withhold
+	// the true "target found" announcement — but belong to the Byzantine
+	// adversary's budget, so the detection rule must vote.
+	ByzantineSilent
+	// ByzantineLiar robots issue false "target found" claims at
+	// positions of the adversary's choosing and never truthfully confirm
+	// the real target.
+	ByzantineLiar
+
+	numKinds = iota
+)
+
+// kindNames are the canonical wire names, used by String, ParseKind and
+// the service's faulty-robot lists.
+var kindNames = [numKinds]string{
+	Reliable:        "reliable",
+	Crash:           "crash",
+	ByzantineSilent: "silent",
+	ByzantineLiar:   "liar",
+}
+
+// String returns the canonical name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Faulty reports whether the kind counts against a fault budget.
+func (k Kind) Faulty() bool { return k != Reliable }
+
+// Byzantine reports whether the kind belongs to the Byzantine
+// adversary (it may coordinate silence and lies).
+func (k Kind) Byzantine() bool { return k == ByzantineSilent || k == ByzantineLiar }
+
+// Confirms reports whether a robot of this kind truthfully announces a
+// target it visits. Only reliable robots do: crash and Byzantine-silent
+// robots say nothing, and liars never tell the truth.
+func (k Kind) Confirms() bool { return k == Reliable }
+
+// ParseKind resolves a canonical kind name ("reliable", "crash",
+// "silent", "liar").
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault kind %q (known: %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Set is a concrete per-robot fault assignment: Set[i] is robot i's
+// behaviour. It replaces the raw []bool crash vector that used to
+// thread through internal/sim.
+type Set []Kind
+
+// FromBools converts a legacy crash vector (true = faulty) into a Set.
+// It is the thin compatibility adapter for callers still holding
+// []bool assignments.
+func FromBools(faulty []bool) Set {
+	s := make(Set, len(faulty))
+	for i, b := range faulty {
+		if b {
+			s[i] = Crash
+		}
+	}
+	return s
+}
+
+// Bools converts the set back into a legacy crash vector (true for any
+// faulty kind). Lossy: the distinction between kinds is dropped.
+func (s Set) Bools() []bool {
+	out := make([]bool, len(s))
+	for i, k := range s {
+		out[i] = k.Faulty()
+	}
+	return out
+}
+
+// NumFaulty counts the robots with a non-reliable kind.
+func (s Set) NumFaulty() int {
+	n := 0
+	for _, k := range s {
+		if k.Faulty() {
+			n++
+		}
+	}
+	return n
+}
+
+// Count counts the robots of exactly kind k.
+func (s Set) Count(k Kind) int {
+	n := 0
+	for _, kk := range s {
+		if kk == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Robots returns the indices assigned kind k, in increasing order.
+func (s Set) Robots(k Kind) []int {
+	var out []int
+	for i, kk := range s {
+		if kk == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set { return append(Set(nil), s...) }
+
+// String formats the set as "robot:kind" pairs for the faulty robots
+// ("2:crash,4:liar"), or "none" for an all-reliable set.
+func (s Set) String() string {
+	var b strings.Builder
+	for i, k := range s {
+		if !k.Faulty() {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(':')
+		b.WriteString(k.String())
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// Validate checks the set against a fleet of n robots under model m:
+// the length must be n, every kind must be one the model admits, and
+// the faulty count must not exceed the model's budget.
+func (s Set) Validate(n int, m Model) error {
+	if len(s) != n {
+		return fmt.Errorf("fault: assignment has %d entries for %d robots", len(s), n)
+	}
+	faulty := 0
+	for i, k := range s {
+		if int(k) >= numKinds {
+			return fmt.Errorf("fault: robot %d has invalid kind %d", i, uint8(k))
+		}
+		if !k.Faulty() {
+			continue
+		}
+		faulty++
+		if !m.Admits(k) {
+			return fmt.Errorf("fault: robot %d has kind %s, which the %s model does not admit", i, k, m)
+		}
+	}
+	if faulty > m.F {
+		return fmt.Errorf("fault: %d faulty robots exceed the budget f=%d", faulty, m.F)
+	}
+	return nil
+}

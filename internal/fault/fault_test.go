@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{Reliable, Crash, ByzantineSilent, ByzantineLiar} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("nonsense"); err == nil || !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("ParseKind(nonsense) error = %v", err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k                           Kind
+		faulty, byzantine, confirms bool
+	}{
+		{Reliable, false, false, true},
+		{Crash, true, false, false},
+		{ByzantineSilent, true, true, false},
+		{ByzantineLiar, true, true, false},
+	}
+	for _, tc := range cases {
+		if tc.k.Faulty() != tc.faulty || tc.k.Byzantine() != tc.byzantine || tc.k.Confirms() != tc.confirms {
+			t.Errorf("%s: Faulty=%v Byzantine=%v Confirms=%v, want %v %v %v",
+				tc.k, tc.k.Faulty(), tc.k.Byzantine(), tc.k.Confirms(), tc.faulty, tc.byzantine, tc.confirms)
+		}
+	}
+}
+
+func TestSetBoolsRoundTrip(t *testing.T) {
+	in := []bool{true, false, true, false}
+	s := FromBools(in)
+	if s.NumFaulty() != 2 || s.Count(Crash) != 2 {
+		t.Fatalf("FromBools(%v) = %v", in, s)
+	}
+	out := s.Bools()
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("Bools round trip: got %v want %v", out, in)
+		}
+	}
+	// Byzantine kinds flatten to true as well.
+	s2 := Set{Reliable, ByzantineLiar, ByzantineSilent}
+	if got := s2.Bools(); !got[1] || !got[2] || got[0] {
+		t.Errorf("Bools(%v) = %v", s2, got)
+	}
+}
+
+func TestSetRobotsAndString(t *testing.T) {
+	s := Set{Reliable, ByzantineLiar, Crash, Reliable, ByzantineLiar}
+	liars := s.Robots(ByzantineLiar)
+	if len(liars) != 2 || liars[0] != 1 || liars[1] != 4 {
+		t.Errorf("Robots(liar) = %v", liars)
+	}
+	if got := s.String(); got != "1:liar,2:crash,4:liar" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Set{Reliable, Reliable}).String(); got != "none" {
+		t.Errorf("all-reliable String() = %q", got)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	m := ByzantineModel(1, 0)
+	if err := (Set{Reliable, ByzantineLiar, Reliable}).Validate(3, m); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := (Set{Reliable, ByzantineLiar}).Validate(3, m); err == nil {
+		t.Error("wrong-length set accepted")
+	}
+	if err := (Set{Crash, Reliable, Reliable}).Validate(3, m); err == nil {
+		t.Error("crash kind accepted by byzantine model")
+	}
+	if err := (Set{ByzantineLiar, ByzantineSilent, Reliable}).Validate(3, m); err == nil {
+		t.Error("over-budget set accepted")
+	}
+	if err := (Set{ByzantineLiar, Reliable, Reliable}).Validate(3, CrashModel(1)); err == nil {
+		t.Error("byzantine kind accepted by crash model")
+	}
+}
+
+func TestModelVotesAndRank(t *testing.T) {
+	cases := []struct {
+		m           Model
+		votes, rank int
+	}{
+		{CrashModel(0), 1, 1},
+		{CrashModel(2), 1, 3},
+		{ByzantineModel(1, 0), 2, 3},
+		{ByzantineModel(2, 0), 3, 5},
+		{ByzantineModel(2, 1), 1, 3},
+		{ByzantineModel(1, 3), 3, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.m.VotesRequired(); got != tc.votes {
+			t.Errorf("%s VotesRequired = %d, want %d", tc.m, got, tc.votes)
+		}
+		if got := tc.m.DetectionRank(); got != tc.rank {
+			t.Errorf("%s DetectionRank = %d, want %d", tc.m, got, tc.rank)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := CrashModel(1).Validate(3); err != nil {
+		t.Errorf("crash(f=1) on n=3: %v", err)
+	}
+	if err := ByzantineModel(1, 0).Validate(3); err != nil {
+		t.Errorf("byzantine(f=1) on n=3: %v", err)
+	}
+	// Default byzantine rank 2f+1 exceeds n.
+	if err := ByzantineModel(1, 0).Validate(2); err == nil {
+		t.Error("byzantine(f=1) on n=2 accepted")
+	}
+	if err := CrashModel(3).Validate(3); err == nil {
+		t.Error("f=n accepted")
+	}
+	if err := CrashModel(-1).Validate(3); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := ByzantineModel(1, -2).Validate(5); err == nil {
+		t.Error("negative votes accepted")
+	}
+	// Explicit votes push the rank beyond the fleet.
+	if err := ByzantineModel(1, 5).Validate(5); err == nil {
+		t.Error("rank 6 on n=5 accepted")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if got := CrashModel(2).String(); got != "crash(f=2)" {
+		t.Errorf("crash String = %q", got)
+	}
+	if got := ByzantineModel(2, 0).String(); got != "byzantine(f=2,votes=3)" {
+		t.Errorf("byzantine String = %q", got)
+	}
+	if got := ByzantineModel(2, 1).String(); got != "byzantine(f=2,votes=1)" {
+		t.Errorf("byzantine explicit-votes String = %q", got)
+	}
+}
+
+func TestModelWorstKindAndAdmits(t *testing.T) {
+	if CrashModel(1).WorstKind() != Crash {
+		t.Error("crash worst kind")
+	}
+	if ByzantineModel(1, 0).WorstKind() != ByzantineSilent {
+		t.Error("byzantine worst kind")
+	}
+	if kinds := ByzantineModel(1, 0).FaultyKinds(); len(kinds) != 2 {
+		t.Errorf("byzantine kinds = %v", kinds)
+	}
+	if kinds := CrashModel(1).FaultyKinds(); len(kinds) != 1 || kinds[0] != Crash {
+		t.Errorf("crash kinds = %v", kinds)
+	}
+}
+
+func TestModelWithF(t *testing.T) {
+	m := ByzantineModel(1, 0).WithF(2)
+	if m.F != 2 || m.VotesRequired() != 3 {
+		t.Errorf("WithF default votes: %+v votes=%d", m, m.VotesRequired())
+	}
+	m = ByzantineModel(1, 2).WithF(3)
+	if m.VotesRequired() != 2 {
+		t.Errorf("WithF explicit votes drifted: %d", m.VotesRequired())
+	}
+}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"linesearch/internal/sweep"
+)
+
+// TestByzantinePlanEndpoint checks the fault-model surface of /v1/plan:
+// model and votes select the voting rule, the response reports the
+// detection rank, and the closed-form bounds are the crash base's (the
+// effective budget rank-1).
+func TestByzantinePlanEndpoint(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/plan?n=5&f=1&model=byzantine", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["model"] != "byzantine" || body["strategy"] != "byzantine" {
+		t.Errorf("plan = %v", body)
+	}
+	if body["votes"].(float64) != 2 || body["detection_rank"].(float64) != 3 {
+		t.Errorf("votes/rank = %v/%v", body["votes"], body["detection_rank"])
+	}
+	// Bounds are those of the crash pair (5, 2): A(5, 2)'s regime.
+	crash, crashBody := doReq(t, h, "GET", "/v1/plan?n=5&f=2", "")
+	if crash != http.StatusOK {
+		t.Fatal(crashBody)
+	}
+	if body["competitive_ratio"] != crashBody["competitive_ratio"] ||
+		body["regime"] != crashBody["regime"] {
+		t.Errorf("byzantine(5,1) bounds %v/%v differ from crash(5,2) %v/%v",
+			body["competitive_ratio"], body["regime"],
+			crashBody["competitive_ratio"], crashBody["regime"])
+	}
+
+	// Explicit vote threshold.
+	code, body = doReq(t, h, "GET", "/v1/plan?n=5&f=1&model=byzantine&votes=3", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["votes"].(float64) != 3 || body["detection_rank"].(float64) != 4 {
+		t.Errorf("votes/rank = %v/%v", body["votes"], body["detection_rank"])
+	}
+}
+
+// TestCrashResponsesOmitModelFields pins the back-compat contract: a
+// crash query's response body carries none of the new fault-model keys,
+// and an explicit model=crash is identical to the default.
+func TestCrashResponsesOmitModelFields(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	for _, target := range []string{
+		"/v1/plan?n=3&f=1",
+		"/v1/searchtime?n=3&f=1&x=7",
+		"/v1/timeline?n=3&f=1&x=7",
+	} {
+		code, body := doReq(t, h, "GET", target, "")
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", target, code)
+		}
+		for _, key := range []string{"model", "votes", "detection_rank", "liars"} {
+			if _, ok := body[key]; ok {
+				t.Errorf("%s: crash response leaks %q", target, key)
+			}
+		}
+		code2, body2 := doReq(t, h, "GET", target+"&model=crash", "")
+		if code2 != http.StatusOK {
+			t.Fatalf("%s&model=crash: status %d", target, code2)
+		}
+		if fmt.Sprint(body2) != fmt.Sprint(body) {
+			t.Errorf("%s: explicit model=crash drifts from the default", target)
+		}
+	}
+}
+
+// TestByzantineSearchTime checks the rank-based default k and the
+// reduction to the crash pair at the effective budget.
+func TestByzantineSearchTime(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/searchtime?n=5&f=1&x=7&model=byzantine", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["k"].(float64) != 3 || body["detection_rank"].(float64) != 3 {
+		t.Errorf("k/rank = %v/%v, want 3/3", body["k"], body["detection_rank"])
+	}
+	ccode, crash := doReq(t, h, "GET", "/v1/searchtime?n=5&f=2&x=7", "")
+	if ccode != http.StatusOK {
+		t.Fatal(crash)
+	}
+	if math.Abs(body["time"].(float64)-crash["time"].(float64)) > 1e-9 {
+		t.Errorf("byzantine(5,1) time %v != crash(5,2) time %v", body["time"], crash["time"])
+	}
+
+	// searchtimes reports the same surface.
+	code, body = doReq(t, h, "GET", "/v1/searchtimes?n=5&f=1&xs=3,7,12&model=byzantine", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["model"] != "byzantine" || body["detection_rank"].(float64) != 3 {
+		t.Errorf("searchtimes = %v", body)
+	}
+	if body["detected"].(float64) != 3 {
+		t.Errorf("detected = %v, want 3", body["detected"])
+	}
+}
+
+// TestByzantineTimelineWithLiars drives the liar surface through the
+// HTTP layer: the designated liar plants exactly one false claim at the
+// mirror position and detection still fires.
+func TestByzantineTimelineWithLiars(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/timeline?n=5&f=1&x=7&model=byzantine&liars=0&tmax=500", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["model"] != "byzantine" || body["detected"] != true {
+		t.Fatalf("timeline = %v", body)
+	}
+	var claims, falseClaims int
+	for _, e := range body["events"].([]any) {
+		ev := e.(map[string]any)
+		switch ev["kind"] {
+		case "claim":
+			claims++
+		case "false-claim":
+			falseClaims++
+			if ev["x"].(float64) != -7 || ev["robot"].(float64) != 0 {
+				t.Errorf("false claim %v, want robot 0 at x=-7", ev)
+			}
+		}
+	}
+	if claims < 2 || falseClaims != 1 {
+		t.Errorf("claims=%d false-claims=%d", claims, falseClaims)
+	}
+
+	// Liars on a crash plan are a client error.
+	code, body = doReq(t, h, "GET", "/v1/timeline?n=3&f=1&x=7&liars=0", "")
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "byzantine") {
+		t.Errorf("crash plan with liars: status %d, body %v", code, body)
+	}
+	// A byzantine strategy name enables liars without model=.
+	code, body = doReq(t, h, "GET", "/v1/timeline?n=5&f=1&x=7&strategy=byzantine&liars=1", "")
+	if code != http.StatusOK {
+		t.Errorf("strategy=byzantine with liars: status %d, body %v", code, body)
+	}
+}
+
+// TestByzantineParamValidation covers the new parameters' error paths.
+func TestByzantineParamValidation(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	cases := []struct {
+		target string
+		substr string
+	}{
+		{"/v1/plan?n=5&f=1&model=lying", "unknown fault model"},
+		{"/v1/plan?n=5&f=1&votes=2", "votes requires model=byzantine"},
+		{"/v1/plan?n=5&f=1&model=byzantine&votes=-1", "votes must be positive"},
+		{"/v1/plan?n=5&f=1&model=byzantine&votes=abc", "must be an integer"},
+		{"/v1/plan?n=4&f=2&model=byzantine", "detection rank"},
+		{"/v1/searchtime?n=5&f=1&x=7&liars=0", "unknown parameter"},
+		{"/v1/lowerbound?n=5&f=1&model=byzantine", "unknown parameter"},
+		{"/v1/plan?n=5&f=1&model=byzantine&strategy=byzantine", "already selects"},
+	}
+	for _, tc := range cases {
+		code, body := doReq(t, h, "GET", tc.target, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", tc.target, code, body)
+			continue
+		}
+		if msg, _ := body["error"].(string); !strings.Contains(msg, tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.target, msg, tc.substr)
+		}
+	}
+}
+
+// TestByzantinePlanCacheKeys checks that model and votes separate cache
+// entries: the same (n, f, strategy) under different detection rules
+// must not share a plan.
+func TestByzantinePlanCacheKeys(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	for _, target := range []string{
+		"/v1/searchtime?n=5&f=1&x=7",
+		"/v1/searchtime?n=5&f=1&x=7&model=byzantine",
+		"/v1/searchtime?n=5&f=1&x=7&model=byzantine&votes=3",
+	} {
+		if code, body := doReq(t, h, "GET", target, ""); code != http.StatusOK {
+			t.Fatalf("%s: status %d, body %v", target, code, body)
+		}
+	}
+	if stats := svc.cache.Stats(); stats.Misses != 3 {
+		t.Errorf("3 distinct detection rules produced %d cache misses, want 3", stats.Misses)
+	}
+}
+
+// TestSweepEndpointFaultModels submits a sweep with a fault-model axis
+// through the HTTP surface and checks the job fans out over both rules.
+func TestSweepEndpointFaultModels(t *testing.T) {
+	_, svc := newSweepServer(t, sweep.Config{Dir: t.TempDir()})
+	h := svc.Handler()
+	spec := `{"n":[5],"f":[1],"fault_models":["crash","byzantine"],"xmax":20,"grid_points":8}`
+	code, body := doReq(t, h, "POST", "/v1/sweeps", spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("status %d, body %v", code, body)
+	}
+	if body["total_cells"].(float64) != 2 {
+		t.Errorf("total_cells = %v, want 2 (one per fault model)", body["total_cells"])
+	}
+	// An invalid model is rejected up front.
+	code, body = doReq(t, h, "POST", "/v1/sweeps", `{"n":[5],"f":[1],"fault_models":["liar"]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("invalid fault model: status %d, body %v", code, body)
+	}
+}

@@ -15,12 +15,16 @@ import (
 
 // PlanKey identifies a constructed search plan: everything that goes
 // into building a Searcher. Strategy is the resolved name ("" means the
-// paper's recommendation for the pair).
+// paper's recommendation for the pair). Model is the fault model (""
+// means crash) and Votes the explicit Byzantine vote threshold (0 means
+// the default f+1).
 type PlanKey struct {
 	N        int
 	F        int
 	Strategy string
 	MinDist  float64
+	Model    string
+	Votes    int
 }
 
 // String formats the key for logs and errors.
@@ -29,7 +33,14 @@ func (k PlanKey) String() string {
 	if st == "" {
 		st = "auto"
 	}
-	return fmt.Sprintf("n=%d f=%d strategy=%s mindist=%g", k.N, k.F, st, k.MinDist)
+	s := fmt.Sprintf("n=%d f=%d strategy=%s mindist=%g", k.N, k.F, st, k.MinDist)
+	if k.Model != "" {
+		s += " model=" + k.Model
+	}
+	if k.Votes != 0 {
+		s += fmt.Sprintf(" votes=%d", k.Votes)
+	}
+	return s
 }
 
 // Plan is a cached value: the immutable Searcher plus its worst-case
@@ -52,6 +63,12 @@ func defaultBuild(k PlanKey) (*Plan, error) {
 	opts := []linesearch.Option{linesearch.WithMinDistance(k.MinDist)}
 	if k.Strategy != "" {
 		opts = append(opts, linesearch.WithStrategy(k.Strategy))
+	}
+	if k.Model != "" {
+		opts = append(opts, linesearch.WithFaultModel(k.Model))
+	}
+	if k.Votes != 0 {
+		opts = append(opts, linesearch.WithVotes(k.Votes))
 	}
 	s, err := linesearch.NewSearcher(k.N, k.F, opts...)
 	if err != nil {

@@ -60,10 +60,19 @@ type Query struct {
 	// Xs is the target list of a searchtimes query, evaluated in one
 	// pass through the compiled kernel.
 	Xs      []float64 `json:"xs,omitempty"`
-	K       int       `json:"k,omitempty"` // 0 means the worst case f+1
+	K       int       `json:"k,omitempty"` // 0 means the worst-case detection rank
 	Faulty  []int     `json:"faulty"`      // nil means the adversarial worst case
 	Tmax    float64   `json:"tmax,omitempty"`
 	Horizon float64   `json:"horizon,omitempty"`
+	// Model selects the fault model ("" or "crash" for the paper's
+	// model, "byzantine" for the voting detection rule) and Votes an
+	// explicit Byzantine vote threshold (0 means the default f+1).
+	Model string `json:"model,omitempty"`
+	Votes int    `json:"votes,omitempty"`
+	// Liars lists robots that actively lie in a timeline query
+	// (byzantine model only); they count against the fault budget
+	// together with Faulty, which under byzantine lists silent robots.
+	Liars []int `json:"liars,omitempty"`
 }
 
 // apiError carries the HTTP status a failed evaluation maps to.
@@ -103,10 +112,16 @@ type pointJSON struct {
 // PlanResult answers /v1/plan: the plan's parameters, guarantees and
 // geometry.
 type PlanResult struct {
-	N                int           `json:"n"`
-	F                int           `json:"f"`
-	Strategy         string        `json:"strategy"`
-	MinDist          float64       `json:"mindist"`
+	N        int     `json:"n"`
+	F        int     `json:"f"`
+	Strategy string  `json:"strategy"`
+	MinDist  float64 `json:"mindist"`
+	// Model and DetectionRank describe the detection rule; both are
+	// omitted for crash plans, whose responses predate the fault-model
+	// surface and stay byte-identical.
+	Model            string        `json:"model,omitempty"`
+	Votes            int           `json:"votes,omitempty"`
+	DetectionRank    int           `json:"detection_rank,omitempty"`
 	Regime           string        `json:"regime"`
 	CompetitiveRatio float64       `json:"competitive_ratio"`
 	UpperBound       *float64      `json:"upper_bound"`
@@ -120,14 +135,16 @@ type PlanResult struct {
 // SearchTimeResult answers /v1/searchtime. Time and Ratio are null when
 // the plan cannot guarantee detection at x (the visit time is infinite).
 type SearchTimeResult struct {
-	N        int      `json:"n"`
-	F        int      `json:"f"`
-	Strategy string   `json:"strategy"`
-	X        float64  `json:"x"`
-	K        int      `json:"k"`
-	Time     *float64 `json:"time"`
-	Ratio    *float64 `json:"ratio"`
-	Detected bool     `json:"detected"`
+	N             int      `json:"n"`
+	F             int      `json:"f"`
+	Strategy      string   `json:"strategy"`
+	Model         string   `json:"model,omitempty"`
+	DetectionRank int      `json:"detection_rank,omitempty"`
+	X             float64  `json:"x"`
+	K             int      `json:"k"`
+	Time          *float64 `json:"time"`
+	Ratio         *float64 `json:"ratio"`
+	Detected      bool     `json:"detected"`
 }
 
 // SearchTimesResult answers a searchtimes query: one worst-case
@@ -135,12 +152,14 @@ type SearchTimeResult struct {
 // compiled kernel. Times[i] is null when the plan cannot guarantee
 // detection at Xs[i].
 type SearchTimesResult struct {
-	N        int        `json:"n"`
-	F        int        `json:"f"`
-	Strategy string     `json:"strategy"`
-	Xs       []float64  `json:"xs"`
-	Times    []*float64 `json:"times"`
-	Detected int        `json:"detected"`
+	N             int        `json:"n"`
+	F             int        `json:"f"`
+	Strategy      string     `json:"strategy"`
+	Model         string     `json:"model,omitempty"`
+	DetectionRank int        `json:"detection_rank,omitempty"`
+	Xs            []float64  `json:"xs"`
+	Times         []*float64 `json:"times"`
+	Detected      int        `json:"detected"`
 }
 
 // EventResult is one timeline entry in wire format.
@@ -156,8 +175,11 @@ type TimelineResult struct {
 	N             int           `json:"n"`
 	F             int           `json:"f"`
 	Strategy      string        `json:"strategy"`
+	Model         string        `json:"model,omitempty"`
+	DetectionRank int           `json:"detection_rank,omitempty"`
 	X             float64       `json:"x"`
 	Faulty        []int         `json:"faulty"`
+	Liars         []int         `json:"liars,omitempty"`
 	Tmax          float64       `json:"tmax"`
 	Events        []EventResult `json:"events"`
 	Detected      bool          `json:"detected"`
@@ -233,12 +255,34 @@ func (q *Query) normalize() error {
 	if q.K < 0 {
 		return badRequest("k must be positive, got %d", q.K)
 	}
+	switch q.Model {
+	case "", "byzantine":
+	case "crash":
+		// Crash is the default model: normalise so an explicit
+		// model=crash shares the default's cache entry and response shape.
+		q.Model = ""
+	default:
+		return badRequest("unknown fault model %q (want crash or byzantine)", q.Model)
+	}
+	if q.Votes < 0 {
+		return badRequest("votes must be positive, got %d", q.Votes)
+	}
+	if q.Votes > 0 && q.Model != "byzantine" {
+		return badRequest("votes requires model=byzantine")
+	}
+	if len(q.Liars) > 0 && q.Op != OpTimeline {
+		return badRequest("liars is only valid for timeline queries")
+	}
+	// Liars additionally require a byzantine plan; the plan itself
+	// enforces that (the model can come from model= or the strategy
+	// name), so the check lives in eval.
 	return nil
 }
 
 // key returns the plan-cache key for the query.
 func (q Query) key() PlanKey {
-	return PlanKey{N: q.N, F: q.F, Strategy: q.Strategy, MinDist: q.MinDist}
+	return PlanKey{N: q.N, F: q.F, Strategy: q.Strategy, MinDist: q.MinDist,
+		Model: q.Model, Votes: q.Votes}
 }
 
 // eval answers one query. It is the single evaluation path shared by
@@ -311,13 +355,19 @@ func (s *Service) evalPlan(ctx context.Context, q Query) (any, error) {
 			robots[i][j] = pointJSON{T: p.T, X: p.X}
 		}
 	}
-	bounds, err := linesearch.Bounds(q.N, q.F)
+	// A byzantine plan's schedule is the crash base at the effective
+	// budget rank-1, so the pair-level closed forms apply there.
+	boundsF := q.F
+	if plan.Searcher.FaultModel() == "byzantine" {
+		boundsF = plan.Searcher.DetectionRank() - 1
+	}
+	bounds, err := linesearch.Bounds(q.N, boundsF)
 	geom.SetInt("robots", int64(len(robots)))
 	geom.End()
 	if err != nil {
 		return nil, err
 	}
-	return PlanResult{
+	res := PlanResult{
 		N:                q.N,
 		F:                q.F,
 		Strategy:         plan.Searcher.Strategy(),
@@ -330,7 +380,13 @@ func (s *Service) evalPlan(ctx context.Context, q Query) (any, error) {
 		Expansion:        finitePtr(bounds.Expansion),
 		Horizon:          horizon,
 		TurningPoints:    robots,
-	}, nil
+	}
+	if plan.Searcher.FaultModel() == "byzantine" {
+		res.Model = "byzantine"
+		res.Votes = plan.Searcher.Votes()
+		res.DetectionRank = plan.Searcher.DetectionRank()
+	}
+	return res, nil
 }
 
 func (s *Service) evalSearchTime(ctx context.Context, q Query) (any, error) {
@@ -338,12 +394,13 @@ func (s *Service) evalSearchTime(ctx context.Context, q Query) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	rank := plan.Searcher.DetectionRank()
 	k := q.K
 	if k == 0 {
-		k = q.F + 1
+		k = rank
 	}
 	var t float64
-	if k == q.F+1 {
+	if k == rank {
 		t, err = plan.Searcher.SearchTime(q.X)
 	} else {
 		t, err = plan.Searcher.KthVisitTime(q.X, k)
@@ -358,6 +415,10 @@ func (s *Service) evalSearchTime(ctx context.Context, q Query) (any, error) {
 		X:        q.X,
 		K:        k,
 		Detected: !math.IsInf(t, 1),
+	}
+	if plan.Searcher.FaultModel() == "byzantine" {
+		res.Model = "byzantine"
+		res.DetectionRank = rank
 	}
 	if res.Detected {
 		res.Time = finitePtr(t)
@@ -382,6 +443,10 @@ func (s *Service) evalSearchTimes(ctx context.Context, q Query) (any, error) {
 		Xs:       q.Xs,
 		Times:    make([]*float64, len(times)),
 	}
+	if plan.Searcher.FaultModel() == "byzantine" {
+		res.Model = "byzantine"
+		res.DetectionRank = plan.Searcher.DetectionRank()
+	}
 	for i, t := range times {
 		res.Times[i] = finitePtr(t)
 		if res.Times[i] != nil {
@@ -398,11 +463,16 @@ func (s *Service) evalTimeline(ctx context.Context, q Query) (any, error) {
 	}
 	searcher := plan.Searcher
 	faulty := q.Faulty
-	if faulty == nil {
+	if faulty == nil && len(q.Liars) == 0 {
+		// The adversarial worst case corrupts the earliest visitors;
+		// with an explicit liar list the caller owns the assignment.
 		faulty = searcher.WorstFaultSet(q.X)
 		if faulty == nil {
 			faulty = []int{}
 		}
+	}
+	if faulty == nil {
+		faulty = []int{}
 	}
 	tmax := q.Tmax
 	if tmax == 0 {
@@ -416,7 +486,13 @@ func (s *Service) evalTimeline(ctx context.Context, q Query) (any, error) {
 		}
 	}
 	_, span := telemetry.StartSpan(ctx, "timeline.events")
-	events, err := searcher.Timeline(q.X, faulty, tmax)
+	var events []linesearch.Event
+	if searcher.FaultModel() == "byzantine" || len(q.Liars) > 0 {
+		// TimelineFaults rejects liars on a crash plan.
+		events, err = searcher.TimelineFaults(q.X, faulty, q.Liars, tmax)
+	} else {
+		events, err = searcher.Timeline(q.X, faulty, tmax)
+	}
 	span.SetInt("events", int64(len(events)))
 	span.End()
 	if err != nil {
@@ -428,8 +504,13 @@ func (s *Service) evalTimeline(ctx context.Context, q Query) (any, error) {
 		Strategy: searcher.Strategy(),
 		X:        q.X,
 		Faulty:   faulty,
+		Liars:    q.Liars,
 		Tmax:     tmax,
 		Events:   make([]EventResult, len(events)),
+	}
+	if searcher.FaultModel() == "byzantine" {
+		res.Model = "byzantine"
+		res.DetectionRank = searcher.DetectionRank()
 	}
 	for i, e := range events {
 		res.Events[i] = EventResult{T: e.T, Robot: e.Robot, Kind: e.Kind, X: e.X}
@@ -463,10 +544,10 @@ func (s *Service) evalLowerBound(q Query) (any, error) {
 // query string is a 400 (catches typos like "stratgy" that would
 // otherwise be silently ignored).
 var paramSpec = map[string]map[string]bool{
-	OpPlan:        {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true},
-	OpSearchTime:  {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true},
-	OpSearchTimes: {"n": true, "f": true, "strategy": true, "mindist": true, "xs": true},
-	OpTimeline:    {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true},
+	OpPlan:        {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true, "model": true, "votes": true},
+	OpSearchTime:  {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true, "model": true, "votes": true},
+	OpSearchTimes: {"n": true, "f": true, "strategy": true, "mindist": true, "xs": true, "model": true, "votes": true},
+	OpTimeline:    {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true, "model": true, "votes": true, "liars": true},
 	OpLowerBound:  {"n": true, "f": true},
 }
 
@@ -512,8 +593,17 @@ func parseQuery(op string, v url.Values) (Query, error) {
 	if q.Horizon, err = floatParam(v, "horizon", 0); err != nil {
 		return q, err
 	}
+	q.Model = v.Get("model")
+	if q.Votes, err = intParam(v, "votes", 0); err != nil {
+		return q, err
+	}
 	if raw := v.Get("faulty"); raw != "" {
 		if q.Faulty, err = parseIndexList(raw); err != nil {
+			return q, err
+		}
+	}
+	if raw := v.Get("liars"); raw != "" {
+		if q.Liars, err = parseIndexList(raw); err != nil {
 			return q, err
 		}
 	}

@@ -30,12 +30,15 @@ type SweepListResponse struct {
 // dataset plus the legend the strategy_id column indexes and any
 // per-cell errors.
 type SweepResultResponse struct {
-	ID         string          `json:"id"`
-	Name       string          `json:"name"`
-	Strategies []string        `json:"strategies"`
-	Dataset    json.RawMessage `json:"dataset"`
-	CellErrors []sweep.Cell    `json:"cell_errors,omitempty"`
-	Files      []string        `json:"files,omitempty"`
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Strategies []string `json:"strategies"`
+	// FaultModels is the legend the dataset's model_id column indexes;
+	// omitted (with the column) for crash-only sweeps.
+	FaultModels []string        `json:"fault_models,omitempty"`
+	Dataset     json.RawMessage `json:"dataset"`
+	CellErrors  []sweep.Cell    `json:"cell_errors,omitempty"`
+	Files       []string        `json:"files,omitempty"`
 }
 
 // handleSweepSubmit decodes a sweep spec and submits it. Submission is
@@ -119,11 +122,12 @@ func (s *Service) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SweepResultResponse{
-		ID:         st.ID,
-		Name:       st.Name,
-		Strategies: st.Strategies,
-		Dataset:    json.RawMessage(bytes.TrimSpace(buf.Bytes())),
-		Files:      st.Files,
+		ID:          st.ID,
+		Name:        st.Name,
+		Strategies:  st.Strategies,
+		FaultModels: st.Spec.FaultModels,
+		Dataset:     json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		Files:       st.Files,
 	}
 	for _, c := range job.CompletedCells() {
 		if !c.OK() {

@@ -228,7 +228,9 @@ func (p *Plan) VisitorsBy(x, t float64) int {
 }
 
 // Covered reports whether a target at x is guaranteed detected by time
-// t under any fault assignment of at most f robots.
+// t under any fault assignment the plan's model allows: the distinct
+// visitor count must reach the detection rank (f+1 crash, f+votes
+// Byzantine).
 func (p *Plan) Covered(x, t float64) bool {
-	return p.VisitorsBy(x, t) > p.f
+	return p.VisitorsBy(x, t) >= p.model.DetectionRank()
 }

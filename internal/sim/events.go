@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"linesearch/internal/fault"
 )
 
 // EventKind classifies timeline events.
@@ -17,8 +19,17 @@ const (
 	EventTurn
 	// EventVisit marks any robot standing on the target position.
 	EventVisit
-	// EventDetect marks the first visit by a reliable robot: the search
-	// completes here.
+	// EventClaim marks a truthful "target found" claim: a reliable
+	// robot announcing the target at its first visit. Emitted only under
+	// Byzantine models, where claims are counted by the voting rule.
+	EventClaim
+	// EventFalseClaim marks a Byzantine liar issuing a false "target
+	// found" claim away from the real target.
+	EventFalseClaim
+	// EventDetect marks the moment the detection rule accepts the
+	// target: the first reliable visit in the crash model, the
+	// VotesRequired-th truthful claim in the Byzantine model. The search
+	// completes here. It sorts after the claim that completes the vote.
 	EventDetect
 )
 
@@ -33,6 +44,10 @@ func (k EventKind) String() string {
 		return "visit"
 	case EventDetect:
 		return "detect"
+	case EventClaim:
+		return "claim"
+	case EventFalseClaim:
+		return "false-claim"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -48,21 +63,30 @@ type Event struct {
 
 // String formats the event for logs.
 func (e Event) String() string {
-	return fmt.Sprintf("t=%-12.4f robot %-2d %-7s at x=%.4f", e.T, e.Robot, e.Kind, e.X)
+	return fmt.Sprintf("t=%-12.4f robot %-2d %-11s at x=%.4f", e.T, e.Robot, e.Kind, e.X)
 }
 
 // Timeline reconstructs the chronological event log of a search for a
 // target at x under a concrete fault assignment, up to time tmax:
-// starts, turns, target visits, and the detection event (if a reliable
-// robot reaches the target within tmax). len(faulty) must equal n.
-func (p *Plan) Timeline(x float64, faulty []bool, tmax float64) ([]Event, error) {
-	if len(faulty) != len(p.trajs) {
-		return nil, fmt.Errorf("sim: fault vector has %d entries for %d robots", len(faulty), len(p.trajs))
+// starts, turns, target visits, claims (truthful and, for Byzantine
+// liars, false) and the detection event once the plan's detection rule
+// accepts the target within tmax.
+//
+// Claim events appear only under Byzantine models, where announcements
+// are votes: each reliable robot claims at its first visit to x, and
+// each liar issues its canonical false claim — the adversary cannot
+// delay detection with lies, so the deterministic choice here is the
+// mirror position -x at the liar's first visit there (the most
+// confusable false target). len(set) must equal n.
+func (p *Plan) Timeline(x float64, set fault.Set, tmax float64) ([]Event, error) {
+	if len(set) != len(p.trajs) {
+		return nil, fmt.Errorf("sim: fault assignment has %d entries for %d robots", len(set), len(p.trajs))
 	}
 	if tmax <= 0 {
 		return nil, fmt.Errorf("sim: tmax must be positive, got %g", tmax)
 	}
 
+	byzantine := p.model.Kind == fault.ModelByzantine
 	var events []Event
 	for i, tr := range p.trajs {
 		segs := tr.SegmentsUntil(tmax)
@@ -80,16 +104,35 @@ func (p *Plan) Timeline(x float64, faulty []bool, tmax float64) ([]Event, error)
 		for _, vt := range tr.VisitsUntil(x, tmax) {
 			events = append(events, Event{T: vt, Robot: i, Kind: EventVisit, X: x})
 		}
+		if !byzantine {
+			continue
+		}
+		switch {
+		case set[i].Confirms():
+			if t, ok := tr.FirstVisit(x); ok && t <= tmax {
+				events = append(events, Event{T: t, Robot: i, Kind: EventClaim, X: x})
+			}
+		case set[i] == fault.ByzantineLiar:
+			if t, ok := tr.FirstVisit(-x); ok && t <= tmax {
+				events = append(events, Event{T: t, Robot: i, Kind: EventFalseClaim, X: -x})
+			}
+		}
 	}
 
-	detect, err := p.DetectionTime(x, faulty)
+	detect, err := p.DetectionTime(x, set)
 	if err != nil {
 		return nil, err
 	}
 	if !math.IsInf(detect, 1) && detect <= tmax {
-		// Identify the detecting robot: the earliest reliable visitor.
+		// Identify the detecting robot: the reliable visitor whose claim
+		// completes the vote (the first one in the crash model).
+		votes := p.model.VotesRequired()
 		for _, v := range p.FirstVisits(x) {
-			if !faulty[v.Robot] {
+			if !set[v.Robot].Confirms() {
+				continue
+			}
+			votes--
+			if votes == 0 {
 				events = append(events, Event{T: detect, Robot: v.Robot, Kind: EventDetect, X: x})
 				break
 			}
@@ -106,6 +149,22 @@ func (p *Plan) Timeline(x float64, faulty []bool, tmax float64) ([]Event, error)
 		return events[a].Kind < events[b].Kind
 	})
 	return events, nil
+}
+
+// TimelineBools is the thin []bool compatibility adapter for Timeline:
+// true entries become the model's worst faulty kind.
+func (p *Plan) TimelineBools(x float64, faulty []bool, tmax float64) ([]Event, error) {
+	if len(faulty) != len(p.trajs) {
+		return nil, fmt.Errorf("sim: fault vector has %d entries for %d robots", len(faulty), len(p.trajs))
+	}
+	set := make(fault.Set, len(faulty))
+	worst := p.model.WorstKind()
+	for i, b := range faulty {
+		if b {
+			set[i] = worst
+		}
+	}
+	return p.Timeline(x, set, tmax)
 }
 
 // isCorner reports whether consecutive displacements constitute a

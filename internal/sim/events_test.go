@@ -13,7 +13,7 @@ func TestTimelineBasicStructure(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
 	x := 2.0
 	faulty := p.WorstFaultSet(x)
-	events, err := p.Timeline(x, faulty, 100)
+	events, err := p.TimelineBools(x, faulty, 100)
 	if err != nil {
 		t.Fatalf("Timeline: %v", err)
 	}
@@ -60,11 +60,11 @@ func TestTimelineDetectMatchesDetectionTime(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
 	x := -1.7
 	faulty := p.WorstFaultSet(x)
-	want, err := p.DetectionTime(x, faulty)
+	want, err := p.DetectionTimeBools(x, faulty)
 	if err != nil {
 		t.Fatal(err)
 	}
-	events, err := p.Timeline(x, faulty, want+10)
+	events, err := p.TimelineBools(x, faulty, want+10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestTimelineDetectMatchesDetectionTime(t *testing.T) {
 func TestTimelineNoDetectBeyondHorizon(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
 	x := 100.0
-	events, err := p.Timeline(x, make([]bool, 3), 5) // horizon too short
+	events, err := p.TimelineBools(x, make([]bool, 3), 5) // horizon too short
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +101,10 @@ func TestTimelineNoDetectBeyondHorizon(t *testing.T) {
 
 func TestTimelineValidation(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
-	if _, err := p.Timeline(1, []bool{true}, 10); err == nil {
+	if _, err := p.TimelineBools(1, []bool{true}, 10); err == nil {
 		t.Error("short fault vector accepted")
 	}
-	if _, err := p.Timeline(1, make([]bool, 3), -1); err == nil {
+	if _, err := p.TimelineBools(1, make([]bool, 3), -1); err == nil {
 		t.Error("negative horizon accepted")
 	}
 }
@@ -113,7 +113,7 @@ func TestTimelineWaitingRobotsStartLate(t *testing.T) {
 	// In A(3,1) robots depart the origin at (beta-1)*|tau'_i|; starts
 	// must carry those staggered times, all at x = 0.
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
-	events, err := p.Timeline(50, make([]bool, 3), 10)
+	events, err := p.TimelineBools(50, make([]bool, 3), 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"linesearch/internal/fault"
 	"linesearch/internal/numeric"
 )
 
@@ -157,7 +158,12 @@ func (p *Plan) MonteCarlo(cfg MCConfig) (MCResult, error) {
 }
 
 // trial runs one random search with a generator derived from the base
-// seed and the trial index.
+// seed and the trial index. The fault assignment is a uniformly random
+// set of exactly F robots; under a Byzantine model each faulty robot
+// additionally flips a fair coin between silence and lying (the
+// detection rule treats both the same, but timelines and any future
+// per-kind statistics see the mix). Crash-model trials draw exactly the
+// random stream they always did, so seeded results are stable.
 func (p *Plan) trial(cfg MCConfig, idx int) (float64, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(idx+1) * trialSeedMix)))
 	logMin, logMax := math.Log(cfg.XMin), math.Log(cfg.XMax)
@@ -165,11 +171,16 @@ func (p *Plan) trial(cfg MCConfig, idx int) (float64, error) {
 	if rng.Intn(2) == 0 {
 		x = -x
 	}
-	faulty := make([]bool, p.N())
-	for _, i := range rng.Perm(p.N())[:p.f] {
-		faulty[i] = true
+	set := make(fault.Set, p.N())
+	byzantine := p.model.Kind == fault.ModelByzantine
+	for _, i := range rng.Perm(p.N())[:p.model.F] {
+		kind := p.model.WorstKind()
+		if byzantine && rng.Intn(2) == 0 {
+			kind = fault.ByzantineLiar
+		}
+		set[i] = kind
 	}
-	detect, err := p.DetectionTime(x, faulty)
+	detect, err := p.DetectionTime(x, set)
 	if err != nil {
 		return 0, err
 	}

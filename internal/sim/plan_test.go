@@ -120,7 +120,7 @@ func TestWorstFaultSetMatchesSearchTime(t *testing.T) {
 		if count != 2 {
 			t.Errorf("x=%v: worst fault set has %d faults, want 2", x, count)
 		}
-		detect, err := p.DetectionTime(x, faulty)
+		detect, err := p.DetectionTimeBools(x, faulty)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func TestRandomFaultsNeverWorseThanAdversary(t *testing.T) {
 		for _, i := range rng.Perm(5)[:3] {
 			faulty[i] = true
 		}
-		detect, err := p.DetectionTime(x, faulty)
+		detect, err := p.DetectionTimeBools(x, faulty)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestRandomFaultsNeverWorseThanAdversary(t *testing.T) {
 func TestDetectionTimeNoFaults(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
 	visits := p.FirstVisits(2.5)
-	detect, err := p.DetectionTime(2.5, make([]bool, 3))
+	detect, err := p.DetectionTimeBools(2.5, make([]bool, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestDetectionTimeAllVisitorsFaulty(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only robot 0 reaches x = 3; make it faulty.
-	detect, err := p.DetectionTime(3, []bool{true, false})
+	detect, err := p.DetectionTimeBools(3, []bool{true, false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestDetectionTimeAllVisitorsFaulty(t *testing.T) {
 
 func TestDetectionTimeRejectsBadFaultVector(t *testing.T) {
 	p := mustPlan(t, strategy.Proportional{}, 3, 1)
-	if _, err := p.DetectionTime(1, []bool{true}); err == nil {
+	if _, err := p.DetectionTimeBools(1, []bool{true}); err == nil {
 		t.Error("short fault vector accepted")
 	}
 }

@@ -37,7 +37,7 @@ func (p *Plan) WithTurnCost(cost, horizon float64) (*Plan, error) {
 		}
 		derived = append(derived, d)
 	}
-	return NewPlan(derived, p.f)
+	return NewPlanModel(derived, p.model)
 }
 
 // delayAtTurns rebuilds the trajectory's polyline up to horizon with a

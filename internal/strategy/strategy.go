@@ -37,6 +37,7 @@ func Registry() []Strategy {
 		Proportional{},
 		TwoGroup{},
 		Doubling{},
+		Byzantine{},
 	}
 	sort.Slice(ss, func(i, j int) bool { return ss[i].Name() < ss[j].Name() })
 	return ss
@@ -44,9 +45,14 @@ func Registry() []Strategy {
 
 // Parse resolves a strategy by name. In addition to the registry names,
 // "cone:<beta>" selects a proportional schedule with an explicit cone
-// slope (e.g. "cone:2.5"), and "uniform:<beta>" the uniformly spaced
-// ablation schedule in the same cone.
+// slope (e.g. "cone:2.5"), "uniform:<beta>" the uniformly spaced
+// ablation schedule in the same cone, and "byzantine[@<votes>][:<base>]"
+// the Byzantine voting-rule family — optionally with an explicit vote
+// threshold and an explicit crash base (e.g. "byzantine@3:cone:2.5").
 func Parse(name string) (Strategy, error) {
+	if isByzantineName(name) {
+		return parseByzantine(name)
+	}
 	if rest, ok := strings.CutPrefix(name, "cone:"); ok {
 		beta, err := parseBeta(rest)
 		if err != nil {
@@ -70,7 +76,7 @@ func Parse(name string) (Strategy, error) {
 	for _, s := range Registry() {
 		names = append(names, s.Name())
 	}
-	return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s, cone:<beta>, uniform:<beta>)", name, strings.Join(names, ", "))
+	return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s, cone:<beta>, uniform:<beta>, byzantine[@votes][:base])", name, strings.Join(names, ", "))
 }
 
 // parseBeta parses a cone slope argument and enforces beta > 1.

@@ -86,6 +86,18 @@ func TestParseMalformed(t *testing.T) {
 		{"empty name", "", []string{`unknown strategy ""`}},
 		{"case sensitive", "Cone:2.5", []string{`unknown strategy "Cone:2.5"`}},
 		{"trailing junk", "cone:2.5x", []string{`invalid cone slope "2.5x"`}},
+		{"byzantine empty votes", "byzantine@", []string{`invalid vote threshold ""`, "positive integer"}},
+		{"byzantine non-numeric votes", "byzantine@abc", []string{`invalid vote threshold "abc"`}},
+		{"byzantine nan votes", "byzantine@NaN", []string{`invalid vote threshold "NaN"`}},
+		{"byzantine fractional votes", "byzantine@2.5", []string{`invalid vote threshold "2.5"`}},
+		{"byzantine negative votes", "byzantine@-1", []string{"vote threshold must be a positive integer", "got -1"}},
+		{"byzantine zero votes", "byzantine@0", []string{"vote threshold must be a positive integer", "got 0"}},
+		{"byzantine unknown base", "byzantine:zigzag", []string{`unknown strategy "zigzag"`}},
+		{"byzantine empty base", "byzantine:", []string{`unknown strategy ""`}},
+		{"byzantine bad base slope", "byzantine@2:cone:0.5", []string{"cone slope must be finite and exceed 1"}},
+		{"byzantine nested", "byzantine:byzantine", []string{"cannot nest"}},
+		{"byzantine nested with votes", "byzantine@2:byzantine@3:doubling", []string{"cannot nest"}},
+		{"byzantine case sensitive", "Byzantine", []string{`unknown strategy "Byzantine"`}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -20,9 +20,12 @@ var chaosSoak = flag.Duration("chaos.soak", 0,
 
 // chaosSpec is the grid every chaos schedule sweeps: small enough that
 // dozens of schedules stay fast, large enough to exercise multiple
-// workers, checkpoint flushes and resume.
+// workers, checkpoint flushes and resume. The fault-model axis runs
+// every cell under both detection rules, so the chaos dichotomy (exact
+// answer or loud failure) covers the Byzantine voting path too.
 func chaosSpec() Spec {
-	return Spec{N: []int{3, 5, 7}, F: []int{1}, XMax: 20, GridPoints: 8}
+	return Spec{N: []int{3, 5, 7}, F: []int{1}, XMax: 20, GridPoints: 8,
+		FaultModels: []string{"crash", "byzantine"}}
 }
 
 // chaosConfig is the manager config chaos schedules run under: tight
@@ -71,7 +74,9 @@ func assertCellMatchesRef(t *testing.T, c Cell, ref map[int]Cell) {
 		t.Fatalf("cell %d not in the reference run", c.Index)
 	}
 	if c.N != want.N || c.F != want.F || c.Strategy != want.Strategy ||
-		c.StrategyID != want.StrategyID || c.Resolved != want.Resolved {
+		c.StrategyID != want.StrategyID || c.Resolved != want.Resolved ||
+		c.FaultModel != want.FaultModel || c.ModelID != want.ModelID ||
+		c.DetectionRank != want.DetectionRank {
 		t.Fatalf("cell %d identity drifted: got %+v want %+v", c.Index, c, want)
 	}
 	if !floatPtrClose(c.EmpiricalCR, want.EmpiricalCR) ||

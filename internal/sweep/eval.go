@@ -44,6 +44,15 @@ type Cell struct {
 	ArgX float64 `json:"arg_x,omitempty"`
 	// Candidates is the number of target positions evaluated.
 	Candidates int `json:"candidates,omitempty"`
+	// FaultModel is the fault-model axis entry the cell ran under and
+	// ModelID its axis index; both are omitted for crash-only specs
+	// (which predate the axis), keeping their datasets byte-identical.
+	FaultModel string `json:"fault_model,omitempty"`
+	ModelID    int    `json:"model_id,omitempty"`
+	// DetectionRank is the distinct-visitor rank the realised plan's
+	// detection rule fires at (f+votes under a Byzantine model); 0 for
+	// crash-only specs.
+	DetectionRank int `json:"detection_rank,omitempty"`
 	// Err is the cell's failure message, empty on success.
 	Err string `json:"error,omitempty"`
 	// Attempts is how many evaluations this cell took (1 on a clean
@@ -91,7 +100,8 @@ type EvalFunc func(ctx context.Context, p CellParams) Cell
 // retry layer.
 func failedCell(p CellParams, err error) Cell {
 	return Cell{Index: p.Index, N: p.N, F: p.F, Strategy: p.Strategy,
-		StrategyID: p.StrategyID, Err: err.Error(),
+		StrategyID: p.StrategyID, FaultModel: p.FaultModel, ModelID: p.ModelID,
+		Err:       err.Error(),
 		transient: isTransient(err), cancelled: isCancelled(err)}
 }
 
@@ -105,7 +115,7 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 		return failedCell(p, err)
 	}
 	_, planSpan := telemetry.StartSpan(ctx, "cell.plan")
-	st, err := resolveStrategy(p.Strategy, p.N, p.F)
+	st, err := resolveStrategy(ComposeStrategy(p.FaultModel, p.Strategy), p.N, p.F)
 	if err != nil {
 		planSpan.End()
 		return failedCell(p, err)
@@ -146,10 +156,15 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 		F:          p.F,
 		Strategy:   p.Strategy,
 		StrategyID: p.StrategyID,
+		FaultModel: p.FaultModel,
+		ModelID:    p.ModelID,
 		Resolved:   st.Name(),
 		Beta:       coneSlope(st, p.N, p.F),
 		ArgX:       res.ArgX,
 		Candidates: res.Candidates,
+	}
+	if p.FaultModel != "" {
+		cell.DetectionRank = plan.DetectionRank()
 	}
 	if !math.IsNaN(res.Sup) && !math.IsInf(res.Sup, 0) {
 		cell.EmpiricalCR = &res.Sup
@@ -189,6 +204,22 @@ func coneSlope(st strategy.Strategy, n, f int) *float64 {
 	case strategy.Doubling:
 		beta := 3.0
 		return &beta
+	case strategy.Byzantine:
+		// The realised schedule is the base strategy at the effective
+		// crash budget f' = rank - 1.
+		m := s.FaultModel(n, f)
+		if m.Validate(n) != nil {
+			return nil
+		}
+		base := s.Base
+		if base == nil {
+			b, err := strategy.ForPair(n, m.DetectionRank()-1)
+			if err != nil {
+				return nil
+			}
+			base = b
+		}
+		return coneSlope(base, n, m.DetectionRank()-1)
 	}
 	return nil
 }

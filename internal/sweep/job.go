@@ -205,14 +205,21 @@ var resultColumns = []string{
 }
 
 // Dataset exports the job's successful cells as a columnar dataset in
-// cell-index order.
+// cell-index order. Specs with a fault-model axis append model_id
+// (indexing Spec.FaultModels) and detection_rank columns; crash-only
+// datasets keep the original schema byte-for-byte.
 func (j *Job) Dataset() (*trace.Dataset, error) {
 	j.mu.Lock()
 	cells := j.sortedCellsLocked()
 	name := j.spec.Name
+	modelAxis := len(j.spec.FaultModels) > 0
 	j.mu.Unlock()
 
-	d := &trace.Dataset{Name: name, Columns: resultColumns}
+	columns := resultColumns
+	if modelAxis {
+		columns = append(append([]string{}, resultColumns...), "model_id", "detection_rank")
+	}
+	d := &trace.Dataset{Name: name, Columns: columns}
 	orNaN := func(p *float64) float64 {
 		if p == nil {
 			return math.NaN()
@@ -223,11 +230,15 @@ func (j *Job) Dataset() (*trace.Dataset, error) {
 		if !c.OK() {
 			continue
 		}
-		if err := d.AddRow(
+		row := []float64{
 			float64(c.N), float64(c.F), float64(c.StrategyID), orNaN(c.Beta),
 			orNaN(c.EmpiricalCR), orNaN(c.AnalyticCR), orNaN(c.AbsError),
 			c.ArgX, float64(c.Candidates),
-		); err != nil {
+		}
+		if modelAxis {
+			row = append(row, float64(c.ModelID), float64(c.DetectionRank))
+		}
+		if err := d.AddRow(row...); err != nil {
 			return nil, err
 		}
 	}

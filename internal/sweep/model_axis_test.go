@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestFaultModelAxisHashPreserved pins the resume contract: adding the
+// FaultModels field must not change the content hash (and therefore the
+// job identity and checkpoint file) of any crash-only spec.
+func TestFaultModelAxisHashPreserved(t *testing.T) {
+	spec := Spec{N: []int{3, 5}, F: []int{1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"name":"sweep","n":[3,5],"f":[1],"strategies":["auto"],"xmin":1,"xmax":100,"grid_points":64,"eps":1e-12}` {
+		t.Errorf("normalised crash-only spec serialises as %s — fault_models must stay omitted", blob)
+	}
+}
+
+func TestFaultModelValidation(t *testing.T) {
+	for _, ok := range []string{"crash", "byzantine", "byzantine@2"} {
+		spec := Spec{N: []int{5}, F: []int{1}, FaultModels: []string{ok}}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("model %q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "liar", "byzantine@0", "byzantine@-1", "byzantine@x",
+		"byzantine:doubling", "proportional", "Byzantine"} {
+		spec := Spec{N: []int{5}, F: []int{1}, FaultModels: []string{bad}}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("model %q accepted", bad)
+		}
+	}
+	// Byzantine models cannot wrap byzantine strategy-axis entries.
+	spec := Spec{N: []int{5}, F: []int{1}, FaultModels: []string{"byzantine"},
+		Strategies: []string{"byzantine:doubling"}}
+	if err := spec.Validate(); err == nil {
+		t.Error("nested byzantine composition accepted")
+	}
+}
+
+func TestComposeStrategy(t *testing.T) {
+	cases := []struct{ model, name, want string }{
+		{"", "auto", "auto"},
+		{"", "cone:2.5", "cone:2.5"},
+		{"crash", "proportional", "proportional"},
+		{"byzantine", "auto", "byzantine"},
+		{"byzantine@2", "auto", "byzantine@2"},
+		{"byzantine", "doubling", "byzantine:doubling"},
+		{"byzantine@3", "cone:2.5", "byzantine@3:cone:2.5"},
+	}
+	for _, tc := range cases {
+		if got := ComposeStrategy(tc.model, tc.name); got != tc.want {
+			t.Errorf("ComposeStrategy(%q, %q) = %q, want %q", tc.model, tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestModelAxisCellEnumeration(t *testing.T) {
+	spec := Spec{N: []int{5}, F: []int{0, 1}, Strategies: []string{"auto", "doubling"},
+		FaultModels: []string{"crash", "byzantine"}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 8 || spec.CellCount() != 8 {
+		t.Fatalf("%d cells, want 8", len(cells))
+	}
+	// Model-major order: all crash cells first, indices dense.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		wantModel := "crash"
+		wantID := 0
+		if i >= 4 {
+			wantModel, wantID = "byzantine", 1
+		}
+		if c.FaultModel != wantModel || c.ModelID != wantID {
+			t.Errorf("cell %d: model %q/%d, want %q/%d", i, c.FaultModel, c.ModelID, wantModel, wantID)
+		}
+	}
+}
+
+// TestDatasetModelColumns pins the export schema contract: a spec with
+// a fault-model axis appends model_id and detection_rank columns, a
+// crash-only spec keeps the original nine byte-for-byte.
+func TestDatasetModelColumns(t *testing.T) {
+	run := func(spec Spec) ([]string, [][]float64) {
+		t.Helper()
+		m := NewManager(Config{Dir: t.TempDir(), Workers: 2, Logger: quiet()})
+		defer m.Close()
+		j, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitJob(t, j); st.State != StateDone {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		ds, err := j.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds.Columns, ds.Rows
+	}
+
+	cols, _ := run(Spec{N: []int{5}, F: []int{1}, XMax: 20, GridPoints: 8})
+	if len(cols) != len(resultColumns) || cols[len(cols)-1] != "candidates" {
+		t.Errorf("crash-only dataset columns drifted: %v", cols)
+	}
+
+	cols, rows := run(Spec{N: []int{5}, F: []int{1}, XMax: 20, GridPoints: 8,
+		FaultModels: []string{"crash", "byzantine"}})
+	if cols[len(cols)-2] != "model_id" || cols[len(cols)-1] != "detection_rank" {
+		t.Fatalf("model-axis dataset columns: %v", cols)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	last := len(cols) - 1
+	if rows[0][last-1] != 0 || rows[0][last] != 2 {
+		t.Errorf("crash row model_id/rank = %v/%v, want 0/2", rows[0][last-1], rows[0][last])
+	}
+	if rows[1][last-1] != 1 || rows[1][last] != 3 {
+		t.Errorf("byzantine row model_id/rank = %v/%v, want 1/3", rows[1][last-1], rows[1][last])
+	}
+}
+
+// TestEvalCellByzantine runs one Byzantine cell end to end: the
+// resolved strategy must be the wrapped family, the detection rank must
+// be recorded, and the empirical CR must match the wrapped strategy's
+// closed form (the crash base at the effective budget).
+func TestEvalCellByzantine(t *testing.T) {
+	spec := Spec{N: []int{5}, F: []int{1}, FaultModels: []string{"byzantine"}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(cells))
+	}
+	cell := EvalCell(context.Background(), cells[0])
+	if !cell.OK() {
+		t.Fatalf("cell failed: %s", cell.Err)
+	}
+	if cell.FaultModel != "byzantine" || cell.Resolved != "byzantine" {
+		t.Errorf("cell model %q resolved %q", cell.FaultModel, cell.Resolved)
+	}
+	if cell.DetectionRank != 3 {
+		t.Errorf("detection rank %d, want 3 (f=1, votes=2)", cell.DetectionRank)
+	}
+	if cell.EmpiricalCR == nil || cell.AnalyticCR == nil || cell.AbsError == nil {
+		t.Fatalf("missing measurements: %+v", cell)
+	}
+	if *cell.AbsError > 1e-9 {
+		t.Errorf("empirical %v vs analytic %v: error %v", *cell.EmpiricalCR, *cell.AnalyticCR, *cell.AbsError)
+	}
+	if cell.Beta == nil {
+		t.Error("byzantine cell lost the realised cone slope")
+	}
+	// Infeasible byzantine pair fails the cell, not the job.
+	bad := Spec{N: []int{4}, F: []int{2}, FaultModels: []string{"byzantine"}}
+	if err := bad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	failed := EvalCell(context.Background(), bad.Cells()[0])
+	if failed.OK() {
+		t.Error("rank 5 > n=4 cell succeeded")
+	}
+	if failed.FaultModel != "byzantine" {
+		t.Errorf("failed cell lost its model: %+v", failed)
+	}
+}

@@ -43,6 +43,14 @@ type Spec struct {
 	Strategies []string `json:"strategies,omitempty"`
 	// Betas appends one "cone:<beta>" strategy per value (each > 1).
 	Betas []float64 `json:"betas,omitempty"`
+	// FaultModels lists the fault models every (strategy, n, f) cell is
+	// evaluated under: "crash", "byzantine", or "byzantine@<votes>" (an
+	// explicit vote threshold). Byzantine entries wrap each strategy in
+	// the voting-rule family at the cell's budget. Empty means crash
+	// only — the field is omitted from the normalised spec, so the
+	// content hash (and therefore job identity and resume) of every
+	// pre-existing crash-only spec is unchanged.
+	FaultModels []string `json:"fault_models,omitempty"`
 	// XMin is the smallest target distance measured (default 1).
 	XMin float64 `json:"xmin,omitempty"`
 	// XMax is the largest target distance measured (default 100*XMin).
@@ -113,6 +121,24 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: beta values must be finite and exceed 1, got %v", beta)
 		}
 	}
+	for _, m := range s.FaultModels {
+		if err := validateModelName(m); err != nil {
+			return err
+		}
+		if m == ModelCrash {
+			continue
+		}
+		// Byzantine models wrap every strategy entry; reject compositions
+		// that cannot parse (most usefully, nested byzantine strategies).
+		for _, name := range s.Strategies {
+			if name == StrategyAuto {
+				continue
+			}
+			if _, err := strategy.Parse(ComposeStrategy(m, name)); err != nil {
+				return fmt.Errorf("sweep: fault model %q cannot wrap strategy %q: %w", m, name, err)
+			}
+		}
+	}
 	if math.IsNaN(s.XMin) || math.IsInf(s.XMin, 0) || s.XMin <= 0 {
 		return fmt.Errorf("sweep: xmin must be a positive finite number, got %g", s.XMin)
 	}
@@ -128,6 +154,56 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// ModelCrash is the fault-model axis entry selecting the source
+// paper's crash model (also the implied axis when FaultModels is empty).
+const ModelCrash = "crash"
+
+// validateModelName accepts "crash", "byzantine" and "byzantine@<votes>".
+// Entries with an embedded base (e.g. "byzantine:doubling") are
+// rejected: the schedule shape belongs on the strategy axis, the
+// detection rule on the model axis.
+func validateModelName(name string) error {
+	if name == ModelCrash {
+		return nil
+	}
+	if strings.Contains(name, ":") {
+		return fmt.Errorf("sweep: fault model %q must not name a base strategy (use the strategies axis), want crash or byzantine[@votes]", name)
+	}
+	st, err := strategy.Parse(name)
+	if err != nil {
+		return fmt.Errorf("sweep: invalid fault model %q: want crash or byzantine[@votes]: %w", name, err)
+	}
+	if _, ok := st.(strategy.Byzantine); !ok {
+		return fmt.Errorf("sweep: fault model %q is a strategy, want crash or byzantine[@votes]", name)
+	}
+	return nil
+}
+
+// ComposeStrategy combines a fault-model axis entry with a strategy
+// axis entry into the concrete strategy name a cell evaluates: crash
+// (or the empty implied model) leaves the name alone; a byzantine model
+// wraps it in the voting-rule family ("auto" keeps the wrapped family's
+// own per-pair base selection).
+func ComposeStrategy(model, name string) string {
+	if model == "" || model == ModelCrash {
+		return name
+	}
+	if name == StrategyAuto {
+		return model
+	}
+	return model + ":" + name
+}
+
+// ModelAxis returns the fault-model axis, with the single implied
+// crash entry ("") when FaultModels is empty — the empty string keeps
+// pre-axis cells' composed strategy names (and datasets) unchanged.
+func (s Spec) ModelAxis() []string {
+	if len(s.FaultModels) == 0 {
+		return []string{""}
+	}
+	return s.FaultModels
+}
+
 // StrategyAxis returns the expanded strategy axis: Strategies followed
 // by one cone entry per beta. Cell results reference this list by
 // index (the dataset's strategy_id column).
@@ -140,21 +216,26 @@ func (s Spec) StrategyAxis() []string {
 	return axis
 }
 
-// CellCount returns the grid size |strategies| * |N| * |F|.
+// CellCount returns the grid size |models| * |strategies| * |N| * |F|.
 func (s Spec) CellCount() int {
-	return len(s.StrategyAxis()) * len(s.N) * len(s.F)
+	return len(s.ModelAxis()) * len(s.StrategyAxis()) * len(s.N) * len(s.F)
 }
 
 // CellParams identifies one grid cell plus the measurement parameters
 // every cell shares. Index is the cell's position in the canonical
-// enumeration order (strategy-major, then n, then f) and is the resume
-// key in checkpoints.
+// enumeration order (model-major, then strategy, then n, then f) and is
+// the resume key in checkpoints; with the implied single crash model
+// the order (and so every pre-axis checkpoint index) is unchanged.
 type CellParams struct {
 	Index      int
 	N          int
 	F          int
 	Strategy   string
 	StrategyID int
+	// FaultModel is the fault-model axis entry ("" for the implied
+	// crash-only axis); ModelID is its index on that axis.
+	FaultModel string
+	ModelID    int
 	XMin       float64
 	XMax       float64
 	GridPoints int
@@ -163,22 +244,27 @@ type CellParams struct {
 
 // Cells enumerates the grid in canonical order.
 func (s Spec) Cells() []CellParams {
+	models := s.ModelAxis()
 	axis := s.StrategyAxis()
 	out := make([]CellParams, 0, s.CellCount())
-	for si, st := range axis {
-		for _, n := range s.N {
-			for _, f := range s.F {
-				out = append(out, CellParams{
-					Index:      len(out),
-					N:          n,
-					F:          f,
-					Strategy:   st,
-					StrategyID: si,
-					XMin:       s.XMin,
-					XMax:       s.XMax,
-					GridPoints: s.GridPoints,
-					Eps:        s.Eps,
-				})
+	for mi, m := range models {
+		for si, st := range axis {
+			for _, n := range s.N {
+				for _, f := range s.F {
+					out = append(out, CellParams{
+						Index:      len(out),
+						N:          n,
+						F:          f,
+						Strategy:   st,
+						StrategyID: si,
+						FaultModel: m,
+						ModelID:    mi,
+						XMin:       s.XMin,
+						XMax:       s.XMax,
+						GridPoints: s.GridPoints,
+						Eps:        s.Eps,
+					})
+				}
 			}
 		}
 	}

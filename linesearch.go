@@ -4,6 +4,15 @@
 // after "Search on a Line with Faulty Robots" (Czyzowicz, Kranakis,
 // Krizanc, Narayanan, Opatrny — PODC 2016).
 //
+// Beyond the paper's crash model, the package supports the Byzantine
+// fault model in the spirit of the authors' follow-up work
+// (arXiv:1611.08209): faulty robots may stay silent or actively lie
+// with false "target found" claims, and a claim is accepted only after
+// enough distinct truthful confirmations outvote any possible set of
+// liars. Select it with WithFaultModel("byzantine") or a
+// "byzantine[@votes][:base]" strategy name; detection then waits for
+// the (f + votes)-th distinct visitor instead of the (f+1)-st.
+//
 // A Searcher wraps a concrete search plan. The recommended plan for a
 // pair (n, f) is the paper's algorithm: the trivial two-group sweep when
 // n >= 2f+2 (competitive ratio 1), and the proportional schedule
@@ -29,6 +38,7 @@ import (
 	"linesearch/internal/adversary"
 	"linesearch/internal/analysis"
 	"linesearch/internal/compiled"
+	"linesearch/internal/fault"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
 )
@@ -64,8 +74,10 @@ func New(n, f int) (*Searcher, error) {
 }
 
 // NewWithStrategy returns a searcher using a named strategy:
-// "proportional" (the paper's A(n, f)), "twogroup", "doubling", or
-// "cone:<beta>" for a proportional schedule at an explicit cone slope.
+// "proportional" (the paper's A(n, f)), "twogroup", "doubling",
+// "cone:<beta>" for a proportional schedule at an explicit cone slope,
+// or "byzantine[@<votes>][:<base>]" for the Byzantine voting-rule
+// family over a crash base.
 func NewWithStrategy(name string, n, f int) (*Searcher, error) {
 	st, err := strategy.Parse(name)
 	if err != nil {
@@ -95,16 +107,31 @@ func (s *Searcher) F() int { return s.f }
 // Strategy returns the name of the underlying strategy.
 func (s *Searcher) Strategy() string { return s.st.Name() }
 
+// FaultModel returns the fault model the plan detects under: "crash"
+// (the paper's model) or "byzantine" (silent or lying faulty robots,
+// detection by vote).
+func (s *Searcher) FaultModel() string { return s.plan.Model().Kind.String() }
+
+// Votes returns the number of distinct truthful confirmations the
+// plan's detection rule waits for: 1 in the crash model, f+1 under the
+// Byzantine model unless an explicit threshold was configured.
+func (s *Searcher) Votes() int { return s.plan.Model().VotesRequired() }
+
+// DetectionRank returns the distinct-visitor rank detection fires at:
+// f + Votes(). SearchTime(x) equals KthVisitTime(x, DetectionRank()).
+func (s *Searcher) DetectionRank() int { return s.plan.DetectionRank() }
+
 // MinDistance returns the minimal target distance the searcher was
 // built for (1 unless configured with WithMinDistance).
 func (s *Searcher) MinDistance() float64 { return s.minDistance }
 
 // SearchTime returns the worst-case time to find a target at position x
-// (finite, |x| >= MinDistance()): the first visit by the (f+1)-st
-// distinct robot, since an adversary makes the f earliest visitors
-// faulty. +Inf means the plan cannot guarantee detection at x. It
-// rejects non-finite targets and targets closer than the minimal
-// distance the plan was built for.
+// (finite, |x| >= MinDistance()): the first visit by the DetectionRank-th
+// distinct robot — f+1 in the crash model, f+votes under the Byzantine
+// voting rule — since an adversary corrupts the earliest visitors. +Inf
+// means the plan cannot guarantee detection at x. It rejects non-finite
+// targets and targets closer than the minimal distance the plan was
+// built for.
 func (s *Searcher) SearchTime(x float64) (float64, error) {
 	if err := s.checkTarget(x); err != nil {
 		return 0, err
@@ -219,11 +246,14 @@ func (s *Searcher) DetectionTime(x float64, faulty []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.plan.DetectionTime(x, vec)
+	return s.plan.DetectionTimeBools(x, vec)
 }
 
 // WorstFaultSet returns the indices of the robots an adversary would
 // corrupt against a target at x: the f earliest distinct visitors.
+// Under the Byzantine model the adversary's corrupted robots stay
+// silent at the target — lying elsewhere never delays detection
+// further (see TimelineFaults for explicit liar placement).
 func (s *Searcher) WorstFaultSet(x float64) []int {
 	vec := s.plan.WorstFaultSet(x)
 	var out []int
@@ -260,13 +290,17 @@ func (s *Searcher) MeasureCR() (sup, witness float64, err error) {
 }
 
 // Event is one entry of a search timeline: a robot starting to move,
-// turning, visiting the target position, or detecting the target.
+// turning, visiting the target position, claiming to have found it, or
+// detecting the target. Claim events only occur under the Byzantine
+// model, where detection waits for enough truthful claims; a
+// "false-claim" is a lie a Byzantine robot plants at a mirror position.
 type Event struct {
 	// T is the event time.
 	T float64
 	// Robot is the robot index.
 	Robot int
-	// Kind is "start", "turn", "visit" or "detect".
+	// Kind is "start", "turn", "visit", "claim", "false-claim" or
+	// "detect".
 	Kind string
 	// X is the event position.
 	X float64
@@ -285,7 +319,57 @@ func (s *Searcher) Timeline(x float64, faulty []int, tmax float64) ([]Event, err
 	if err != nil {
 		return nil, err
 	}
-	events, err := s.plan.Timeline(x, vec, tmax)
+	events, err := s.plan.TimelineBools(x, vec, tmax)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(events))
+	for i, e := range events {
+		out[i] = Event{T: e.T, Robot: e.Robot, Kind: e.Kind.String(), X: e.X}
+	}
+	return out, nil
+}
+
+// TimelineFaults reconstructs the event log of a search for a target at
+// x under an explicit per-robot fault assignment: robots in silent stay
+// quiet at the target (valid in both models), robots in liars
+// additionally plant a false claim at the mirror position (Byzantine
+// plans only). The two lists must be disjoint and their total size must
+// not exceed the fault budget f.
+func (s *Searcher) TimelineFaults(x float64, silent, liars []int, tmax float64) ([]Event, error) {
+	if err := s.checkTarget(x); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(tmax) || math.IsInf(tmax, 0) || tmax < 0 {
+		return nil, fmt.Errorf("linesearch: timeline horizon must be finite and non-negative, got %g", tmax)
+	}
+	m := s.plan.Model()
+	if len(liars) > 0 && !m.Admits(fault.ByzantineLiar) {
+		return nil, fmt.Errorf("linesearch: lying robots need the byzantine fault model, plan uses %s", m)
+	}
+	set := make(fault.Set, s.n)
+	assign := func(idxs []int, k fault.Kind) error {
+		for _, idx := range idxs {
+			if idx < 0 || idx >= s.n {
+				return fmt.Errorf("linesearch: faulty robot index %d out of range [0, %d)", idx, s.n)
+			}
+			if set[idx] != fault.Reliable {
+				return fmt.Errorf("linesearch: robot %d assigned two fault kinds", idx)
+			}
+			set[idx] = k
+		}
+		return nil
+	}
+	if err := assign(silent, m.WorstKind()); err != nil {
+		return nil, err
+	}
+	if err := assign(liars, fault.ByzantineLiar); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(s.n, m); err != nil {
+		return nil, fmt.Errorf("linesearch: %w", err)
+	}
+	events, err := s.plan.Timeline(x, set, tmax)
 	if err != nil {
 		return nil, err
 	}

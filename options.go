@@ -14,6 +14,8 @@ type Option func(*searcherConfig) error
 type searcherConfig struct {
 	strategyName string
 	minDistance  float64
+	faultModel   string
+	votes        int
 }
 
 // WithStrategy selects a strategy by name: "proportional" (the paper's
@@ -46,6 +48,39 @@ func WithMinDistance(d float64) Option {
 	}
 }
 
+// WithFaultModel selects the fault model the searcher detects under:
+// "crash" (the default, the paper's model — faulty robots never report)
+// or "byzantine" (faulty robots may stay silent or lie; detection waits
+// for enough truthful confirmations to outvote any liar set). Under
+// "byzantine" the configured strategy becomes the crash base of the
+// voting-rule family; combining it with an already-byzantine strategy
+// name is an error.
+func WithFaultModel(model string) Option {
+	return func(c *searcherConfig) error {
+		switch model {
+		case "crash", "byzantine":
+			c.faultModel = model
+			return nil
+		default:
+			return fmt.Errorf("linesearch: unknown fault model %q (want crash or byzantine)", model)
+		}
+	}
+}
+
+// WithVotes sets an explicit vote threshold v >= 1 for the Byzantine
+// detection rule: a target is accepted after v distinct truthful
+// claims (default f+1, the smallest threshold no liar coalition can
+// forge). Requires WithFaultModel("byzantine").
+func WithVotes(v int) Option {
+	return func(c *searcherConfig) error {
+		if v < 1 {
+			return fmt.Errorf("linesearch: vote threshold must be a positive integer, got %d", v)
+		}
+		c.votes = v
+		return nil
+	}
+}
+
 // NewSearcher builds a searcher for n robots with up to f faults,
 // applying options. Without options it is identical to New.
 func NewSearcher(n, f int, opts ...Option) (*Searcher, error) {
@@ -55,6 +90,9 @@ func NewSearcher(n, f int, opts ...Option) (*Searcher, error) {
 			return nil, err
 		}
 	}
+	if cfg.votes > 0 && cfg.faultModel != "byzantine" {
+		return nil, fmt.Errorf("linesearch: WithVotes requires WithFaultModel(\"byzantine\")")
+	}
 
 	var (
 		st  strategy.Strategy
@@ -62,11 +100,22 @@ func NewSearcher(n, f int, opts ...Option) (*Searcher, error) {
 	)
 	if cfg.strategyName == "" {
 		st, err = strategy.ForPair(n, f)
+		// The byzantine wrapper picks its own per-pair base at the
+		// effective budget, so a missing strategy stays nil below.
+		if cfg.faultModel == "byzantine" {
+			st, err = nil, nil
+		}
 	} else {
 		st, err = strategy.Parse(cfg.strategyName)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.faultModel == "byzantine" {
+		if _, ok := st.(strategy.Byzantine); ok {
+			return nil, fmt.Errorf("linesearch: strategy %q already selects the byzantine model", cfg.strategyName)
+		}
+		st = strategy.Byzantine{Votes: cfg.votes, Base: st}
 	}
 	st = applyMinDistance(st, cfg.minDistance)
 
@@ -95,6 +144,9 @@ func applyMinDistance(st strategy.Strategy, d float64) strategy.Strategy {
 		s.MinDistance = d
 		return s
 	case strategy.UniformCone:
+		s.MinDistance = d
+		return s
+	case strategy.Byzantine:
 		s.MinDistance = d
 		return s
 	default:
