@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check lint chaos fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos fuzz repro data serve sweep clean
 
 all: build test
 
@@ -53,6 +53,20 @@ bench-pr6:
 bench-pr6-check: bench-pr6
 	$(GO) run ./cmd/benchjson -compare BENCH_pr5.json BENCH_pr6.json
 
+# Stochastic-engine-era benchmarks: the crash hot paths plus the
+# discrete-event scheduler (dispatch must stay 0 allocs/event in steady
+# state), the p-faulty search sampler, the Monte-Carlo driver and the
+# expected-time series. Writes BENCH_pr7.json.
+bench-pr7:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry ./internal/compiled ./internal/engine | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr7.json
+
+# Fail when the deterministic kernel regresses allocs/op against the
+# PR 6 report — the stochastic engine must not cost the crash path
+# anything.
+bench-pr7-check: bench-pr7
+	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json BENCH_pr7.json
+
 # Static analysis beyond go vet. staticcheck is installed by CI; run
 # `go install honnef.co/go/tools/cmd/staticcheck@2025.1` to get it
 # locally.
@@ -71,11 +85,13 @@ chaos:
 bench-paper:
 	$(GO) test -bench . -benchmem .
 
-# Short fuzzing smoke: the public SearchTime entry point, then the
-# Byzantine vote-rule kernel against the exact engine.
+# Short fuzzing smoke: the public SearchTime entry point, the
+# Byzantine vote-rule kernel against the exact engine, and the
+# discrete-event scheduler against the closed-form simulator.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSearchTime -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzByzantineVote -fuzztime 30s ./internal/compiled
+	$(GO) test -run '^$$' -fuzz FuzzEngineVsSim -fuzztime 30s ./internal/engine
 
 # Regenerate every table and figure as text on stdout.
 repro:

@@ -53,6 +53,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fList := fs.String("f", "", "comma-separated fault budgets, e.g. 1,2,3")
 	strategies := fs.String("strategies", "", "comma-separated strategy names (auto, proportional, twogroup, doubling, cone:<beta>, uniform:<beta>); default auto")
 	betas := fs.String("betas", "", "comma-separated cone slopes, each adding a cone:<beta> strategy")
+	pAxis := fs.String("p", "", "comma-separated per-visit miss probabilities for the expected-time axis, e.g. 0.25,0.5")
+	speedsAxis := fs.String("speeds", "", "semicolon-separated per-robot speed vectors, e.g. 1,1,2;2 (a single speed broadcasts)")
 	xmin := fs.Float64("xmin", 0, "smallest target distance (0 = default 1)")
 	xmax := fs.Float64("xmax", 0, "largest target distance (0 = default 100*xmin)")
 	grid := fs.Int("grid", 0, "safety-grid points per half line (0 = default 64)")
@@ -66,7 +68,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	spec, err := buildSpec(*specFile, *nList, *fList, *strategies, *betas, *xmin, *xmax, *grid, *name)
+	spec, err := buildSpec(*specFile, *nList, *fList, *strategies, *betas, *pAxis, *speedsAxis, *xmin, *xmax, *grid, *name)
 	if err != nil {
 		return err
 	}
@@ -114,11 +116,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 }
 
 // buildSpec assembles the sweep spec from a file or from flags.
-func buildSpec(specFile, nList, fList, strategies, betas string, xmin, xmax float64, grid int, name string) (sweep.Spec, error) {
+func buildSpec(specFile, nList, fList, strategies, betas, pAxis, speedsAxis string, xmin, xmax float64, grid int, name string) (sweep.Spec, error) {
 	var spec sweep.Spec
 	if specFile != "" {
-		if nList != "" || fList != "" || strategies != "" || betas != "" {
-			return spec, fmt.Errorf("-spec and grid flags (-n, -f, -strategies, -betas) are mutually exclusive")
+		if nList != "" || fList != "" || strategies != "" || betas != "" || pAxis != "" || speedsAxis != "" {
+			return spec, fmt.Errorf("-spec and grid flags (-n, -f, -strategies, -betas, -p, -speeds) are mutually exclusive")
 		}
 		blob, err := os.ReadFile(specFile)
 		if err != nil {
@@ -148,6 +150,19 @@ func buildSpec(specFile, nList, fList, strategies, betas string, xmin, xmax floa
 	}
 	if spec.Betas, err = sweep.ParseFloats(betas); err != nil {
 		return spec, err
+	}
+	if spec.P, err = sweep.ParseFloats(pAxis); err != nil {
+		return spec, err
+	}
+	for _, vec := range strings.Split(speedsAxis, ";") {
+		if strings.TrimSpace(vec) == "" {
+			continue
+		}
+		v, err := sweep.ParseFloats(vec)
+		if err != nil {
+			return spec, err
+		}
+		spec.Speeds = append(spec.Speeds, v)
 	}
 	spec.XMin = xmin
 	spec.XMax = xmax

@@ -236,6 +236,11 @@ func compileTrajectory(tr *trajectory.Trajectory, opts Options) (*ctraj, error) 
 	default:
 		// Unknown tail implementation: the corner arrays accelerate the
 		// finite prefix, everything else goes to the source trajectory.
+		// Materialise the anchor when the tail exposes one so tail-only
+		// trajectories (e.g. the half-line zig-zag) still compile.
+		if a, ok := tr.TailOf().(interface{ Anchor() geom.Point }); ok {
+			appendCorner(a.Anchor())
+		}
 		ct.tail = tailFallback
 	}
 

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestEventKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EventStart:           "start",
+		EventFaultActivation: "fault-activation",
+		EventTurn:            "turn",
+		EventVisit:           "visit",
+		EventClaim:           "claim",
+		EventFalseClaim:      "false-claim",
+		EventDetect:          "detect",
+	}
+	for k, name := range want {
+		if got := k.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", k, got, name)
+		}
+	}
+	if got := EventKind(200).String(); got != "EventKind(200)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestEventQueueOrdersByTimeKindRobot(t *testing.T) {
+	var q eventQueue
+	q.push(Event{T: 2, Kind: EventTurn, Robot: 0})
+	q.push(Event{T: 1, Kind: EventClaim, Robot: 1})
+	q.push(Event{T: 1, Kind: EventVisit, Robot: 2})
+	q.push(Event{T: 1, Kind: EventClaim, Robot: 0})
+	q.push(Event{T: 0.5, Kind: EventDetect, Robot: 9})
+
+	wantOrder := []struct {
+		t     float64
+		kind  EventKind
+		robot int
+	}{
+		{0.5, EventDetect, 9},
+		{1, EventVisit, 2}, // visit precedes claims at equal time
+		{1, EventClaim, 0}, // equal time and kind: robot order
+		{1, EventClaim, 1},
+		{2, EventTurn, 0},
+	}
+	for i, w := range wantOrder {
+		ev, ok := q.pop()
+		if !ok {
+			t.Fatalf("queue empty at pop %d", i)
+		}
+		if ev.T != w.t || ev.Kind != w.kind || ev.Robot != w.robot {
+			t.Fatalf("pop %d = (%g, %v, %d), want (%g, %v, %d)",
+				i, ev.T, ev.Kind, ev.Robot, w.t, w.kind, w.robot)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestEventQueueHeapProperty(t *testing.T) {
+	var q eventQueue
+	s := NewStream(11)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.push(Event{T: s.Float64() * 100, Kind: EventKind(s.Intn(int(numEventKinds))), Robot: s.Intn(8)})
+	}
+	if q.len() != n {
+		t.Fatalf("len = %d, want %d", q.len(), n)
+	}
+	got := make([]Event, 0, n)
+	for {
+		ev, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d events, want %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].before(got[b]) }) {
+		t.Fatal("pop order violates the scheduler's total order")
+	}
+}
+
+func TestEventQueueResetKeepsStorage(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 64; i++ {
+		q.push(Event{T: float64(i)})
+	}
+	q.reset()
+	if q.len() != 0 {
+		t.Fatalf("len after reset = %d", q.len())
+	}
+	if cap(q.items) < 64 {
+		t.Fatalf("reset dropped storage (cap %d)", cap(q.items))
+	}
+}

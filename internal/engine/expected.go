@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"linesearch/internal/fault"
+	"linesearch/internal/numeric"
+)
+
+// Analytic expected detection time.
+//
+// When the fleet's claim processes are independent across robots and
+// across visits — which is exactly the p-faulty regime — the expected
+// detection time has an exact series form that needs no sampling. Order
+// every "confirmation opportunity" of the target ascending in time:
+// reliable robots contribute their first visit with success probability
+// 1, delay robots their first visit plus latency with probability 1,
+// p-faulty robots every visit with probability 1-P each, and crash /
+// silent / liar robots nothing. With a vote threshold of 1, detection
+// happens at the first successful opportunity, so
+//
+//	E[T] = sum_k t_k s_k prod_{j<k} (1 - s_j),
+//
+// the expectation of the first success over the merged stream. The
+// series is summed until the survival probability prod (1-s_j) falls
+// below Tol; geometric trajectories make t_k grow geometrically while
+// survival shrinks geometrically, so the truncation error is bounded by
+// the last survival times the local time scale. When survival * t_k is
+// not shrinking the series diverges (the paper's P^2*gamma >= 1 regime)
+// and the estimator reports +Inf rather than a truncated lie.
+
+// ExpectedOpts tunes ExpectedDetectionTime.
+type ExpectedOpts struct {
+	// Tol bounds the truncation: summation stops once the tail proxy
+	// survival * t falls below Tol * max(1, partial sum). 0 defaults to
+	// 1e-12.
+	Tol float64
+	// MaxTerms caps the merged opportunities consumed. 0 defaults to
+	// 1<<20. Hitting the cap with survival above Tol reports +Inf.
+	MaxTerms int
+}
+
+func (o ExpectedOpts) withDefaults() ExpectedOpts {
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxTerms == 0 {
+		o.MaxTerms = 1 << 20
+	}
+	return o
+}
+
+// oppCursor walks one robot's confirmation opportunities in time order.
+type oppCursor struct {
+	spec RobotSpec
+	// next opportunity (wall time) and its success probability; valid
+	// when ok.
+	t    float64
+	prob float64
+	ok   bool
+	// p-faulty stream state
+	visits    []float64
+	vi        int
+	horizon   float64
+	lastVisit float64
+	x         float64
+}
+
+// advance loads the cursor's next opportunity.
+func (c *oppCursor) advance() {
+	c.ok = false
+	switch c.spec.Kind {
+	case fault.Reliable, fault.Delay:
+		if c.vi > 0 {
+			return // single opportunity, already consumed
+		}
+		c.vi = 1
+		base, ok := c.spec.Traj.FirstVisit(c.x)
+		if !ok {
+			return
+		}
+		c.t = base/c.spec.speed() + c.spec.Latency
+		c.prob = 1
+		c.ok = true
+
+	case fault.PFaulty:
+		for {
+			if c.vi < len(c.visits) {
+				base := c.visits[c.vi]
+				c.vi++
+				if base-c.lastVisit <= visitDedupeTol {
+					continue
+				}
+				c.lastVisit = base
+				c.t = base / c.spec.speed()
+				c.prob = 1 - c.spec.P
+				c.ok = true
+				return
+			}
+			if !c.extend() {
+				return
+			}
+		}
+	}
+}
+
+// extend fetches more of the visit stream; false when exhausted.
+func (c *oppCursor) extend() bool {
+	if c.horizon >= visitHorizonMax {
+		return false
+	}
+	if c.spec.Traj.TailOf() == nil {
+		c.horizon = visitHorizonMax
+		c.visits = c.spec.Traj.VisitsUntil(c.x, math.Inf(1))
+		return c.vi < len(c.visits)
+	}
+	for c.horizon < visitHorizonMax {
+		if c.horizon == 0 {
+			first, ok := c.spec.Traj.FirstVisit(c.x)
+			if !ok {
+				c.horizon = visitHorizonMax
+				return false
+			}
+			c.horizon = math.Max(first*2, 16)
+		} else {
+			c.horizon *= 2
+		}
+		if c.horizon > visitHorizonMax {
+			c.horizon = visitHorizonMax
+		}
+		all := c.spec.Traj.VisitsUntil(c.x, c.horizon)
+		if len(all) > len(c.visits) {
+			c.visits = all
+			if c.vi < len(c.visits) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExpectedDetectionTime computes the exact expected detection time of a
+// target at x for the fleet, by geometric-series summation over the
+// merged confirmation-opportunity stream. It requires the regime where
+// the series form is the truth: a vote threshold of 1 and no latency
+// jitter (drawn latencies correlate the order statistics; use
+// MonteCarlo there). It returns +Inf when detection is not almost sure
+// or the expectation diverges.
+func ExpectedDetectionTime(robots []RobotSpec, votes int, x float64, opts ExpectedOpts) (float64, error) {
+	if votes > 1 {
+		return 0, fmt.Errorf("engine: analytic expected time needs a vote threshold of 1, got %d (use MonteCarlo)", votes)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("engine: target %g must be finite", x)
+	}
+	opts = opts.withDefaults()
+	cursors := make([]*oppCursor, 0, len(robots))
+	for i, r := range robots {
+		if err := r.validate(i); err != nil {
+			return 0, err
+		}
+		if r.Kind == fault.Delay && r.Jitter != 0 {
+			return 0, fmt.Errorf("engine: analytic expected time cannot handle latency jitter on robot %d (use MonteCarlo)", i)
+		}
+		if !r.claimCapable() {
+			continue
+		}
+		c := &oppCursor{spec: r, x: x, lastVisit: math.Inf(-1)}
+		c.advance()
+		if c.ok {
+			cursors = append(cursors, c)
+		}
+	}
+	if len(cursors) == 0 {
+		return math.Inf(1), nil
+	}
+
+	var sum numeric.KahanSum
+	survival := 1.0
+	lastT := 0.0
+	// Divergence tracking: survival*t is (up to constants) a lower
+	// bound on the tail's remaining contribution. In a convergent
+	// series its running minimum keeps falling (it oscillates within an
+	// excursion — the return crossing is cheap, the next outbound one
+	// multiplies t by gamma — but shrinks by P^2*gamma per excursion);
+	// when the floor goes stale for a sustained window the series is
+	// not converging and the expectation is infinite.
+	tailFloor := math.Inf(1)
+	stale := 0
+	for terms := 0; terms < opts.MaxTerms; terms++ {
+		// Earliest opportunity across cursors; ties broken by cursor
+		// order (robot order) for determinism.
+		best := -1
+		for i, c := range cursors {
+			if c.ok && (best < 0 || c.t < cursors[best].t) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Opportunities exhausted with probability mass left. Mass
+			// that never gets an opportunity (starved targets) means
+			// detection is not almost sure: +Inf. Mass that merely
+			// outlived the visit horizon is judged by its tail proxy —
+			// against sqrt(Tol) rather than Tol, because close to the
+			// divergence boundary the horizon needed to drive the tail
+			// below full Tol outgrows float64 while the remaining
+			// contribution is already far below any usable precision.
+			if survival*math.Max(1, lastT) > math.Sqrt(opts.Tol)*math.Max(1, sum.Value()) {
+				return math.Inf(1), nil
+			}
+			return sum.Value(), nil
+		}
+		c := cursors[best]
+		sum.Add(survival * c.prob * c.t)
+		survival *= 1 - c.prob
+		lastT = c.t
+		tail := survival * c.t
+		if tail <= opts.Tol*math.Max(1, sum.Value()) {
+			return sum.Value(), nil
+		}
+		if tail < tailFloor {
+			tailFloor = tail
+			stale = 0
+		} else if stale++; stale >= 32 {
+			return math.Inf(1), nil
+		}
+		c.advance()
+	}
+	return math.Inf(1), nil
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"linesearch/internal/fault"
+	"linesearch/internal/geom"
+	"linesearch/internal/trajectory"
+)
+
+// halfLineTraj builds the one-sided sweep with base excursion b and
+// growth gamma, anchored at the origin.
+func halfLineTraj(t testing.TB, b, gamma float64) *trajectory.Trajectory {
+	t.Helper()
+	tr, err := trajectory.New(nil, trajectory.MustHalfZigZag(geom.Point{X: 0, T: 0}, b, gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestExpectedReliableIsFirstVisit(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	fv, _ := tr.FirstVisit(3.3)
+	got, err := ExpectedDetectionTime([]RobotSpec{{Traj: tr}}, 1, 3.3, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-fv) > 1e-12*fv {
+		t.Errorf("E[T] = %g, want first visit %g", got, fv)
+	}
+}
+
+func TestExpectedDelayAddsLatency(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	fv, _ := tr.FirstVisit(3.3)
+	got, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.Delay, Latency: 4}}, 1, 3.3, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fv + 4; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("E[T] = %g, want %g", got, want)
+	}
+}
+
+// TestExpectedMatchesClosedFormSingleRobot checks the merged-stream
+// summation against an independently derived geometric closed form for
+// one p-faulty robot on the half-line sweep with excursions b*gamma^k:
+// with P the per-visit failure probability, R = P^2*gamma and K the
+// first excursion reaching x,
+//
+//	E[T] = (2b/(g-1))((1-P^2) g^(K-1)/(1-R) - 1)
+//	     + x (1-P)/(1+P) + 2P(1-P) b g^(K-1)/(1-R).
+func TestExpectedMatchesClosedFormSingleRobot(t *testing.T) {
+	for _, c := range []struct {
+		b, gamma, p, x float64
+	}{
+		{1, 2, 0.5, 3.7},
+		{1, 2, 0.25, 1.1},
+		{1, 2, 0, 9.4},
+		{2, 3, 0.4, 17.0},
+		{1, 1.5, 0.7, 2.6},
+		{0.5, 4, 0.3, 100},
+	} {
+		tr := halfLineTraj(t, c.b, c.gamma)
+		got, err := ExpectedDetectionTime(
+			[]RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: c.p}}, 1, c.x, ExpectedOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		P, g := c.p, c.gamma
+		R := P * P * g
+		K := 1
+		for c.b*math.Pow(g, float64(K-1)) < c.x {
+			K++
+		}
+		gk := math.Pow(g, float64(K-1))
+		want := (2*c.b/(g-1))*((1-P*P)*gk/(1-R)-1) +
+			c.x*(1-P)/(1+P) + 2*P*(1-P)*c.b*gk/(1-R)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("b=%g g=%g p=%g x=%g: series %g, closed form %g",
+				c.b, c.gamma, c.p, c.x, got, want)
+		}
+	}
+}
+
+func TestExpectedDivergesWhenRAtLeastOne(t *testing.T) {
+	// gamma=2, p=0.75: R = 0.5625*2 = 1.125 >= 1 — the expectation is
+	// infinite even though detection is almost sure.
+	tr := halfLineTraj(t, 1, 2)
+	got, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: 0.75}}, 1, 3, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("E[T] = %g for p^2*gamma = 1.125, want +Inf", got)
+	}
+}
+
+func TestExpectedMixedFleetBelowSoloPFaulty(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	solo, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: 0.5}}, 1, 5, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := ExpectedDetectionTime([]RobotSpec{
+		{Traj: tr, Kind: fault.PFaulty, P: 0.5},
+		{Traj: tr, Kind: fault.PFaulty, P: 0.5},
+	}, 1, 5, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(duo < solo) {
+		t.Errorf("two robots E[T]=%g not below one robot's %g", duo, solo)
+	}
+	// Two identical p-robots visiting simultaneously behave like one
+	// robot with p^2 per collective visit.
+	squared, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: 0.25}}, 1, 5, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(duo-squared) > 1e-9*squared {
+		t.Errorf("duo E[T]=%g, p^2 solo E[T]=%g — should coincide", duo, squared)
+	}
+}
+
+func TestExpectedUnreachableAndStarved(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	// Behind the base: never visited.
+	got, err := ExpectedDetectionTime([]RobotSpec{{Traj: tr}}, 1, -2, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("unreachable target E[T] = %g, want +Inf", got)
+	}
+	// Crash-only fleet: nobody confirms.
+	got, err = ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.Crash}}, 1, 2, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("crash fleet E[T] = %g, want +Inf", got)
+	}
+}
+
+func TestExpectedRejectsUnsupportedRegimes(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	if _, err := ExpectedDetectionTime([]RobotSpec{{Traj: tr}}, 2, 3, ExpectedOpts{}); err == nil {
+		t.Error("votes=2 accepted")
+	}
+	if _, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.Delay, Jitter: 1}}, 1, 3, ExpectedOpts{}); err == nil {
+		t.Error("latency jitter accepted")
+	}
+	if _, err := ExpectedDetectionTime([]RobotSpec{{Traj: tr}}, 1, math.NaN(), ExpectedOpts{}); err == nil {
+		t.Error("NaN target accepted")
+	}
+	if _, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: 1.5}}, 1, 3, ExpectedOpts{}); err == nil {
+		t.Error("p=1.5 accepted")
+	}
+}
+
+// TestExpectedCrossValidatesMonteCarlo is the tentpole's two-path
+// agreement requirement: the analytic series and the engine's sampled
+// mean must agree within Monte-Carlo confidence bounds.
+func TestExpectedCrossValidatesMonteCarlo(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		specs func(tr *trajectory.Trajectory) []RobotSpec
+		x     float64
+	}{
+		{"solo p=0.5", func(tr *trajectory.Trajectory) []RobotSpec {
+			return []RobotSpec{{Traj: tr, Kind: fault.PFaulty, P: 0.5}}
+		}, 3.7},
+		{"duo p=0.6 mixed speeds", func(tr *trajectory.Trajectory) []RobotSpec {
+			return []RobotSpec{
+				{Traj: tr, Kind: fault.PFaulty, P: 0.6},
+				{Traj: tr, Kind: fault.PFaulty, P: 0.6, Speed: 2},
+			}
+		}, 7.2},
+		{"pfaulty plus delay", func(tr *trajectory.Trajectory) []RobotSpec {
+			return []RobotSpec{
+				{Traj: tr, Kind: fault.PFaulty, P: 0.4},
+				{Traj: tr, Kind: fault.Delay, Latency: 30},
+			}
+		}, 5.5},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			tr := halfLineTraj(t, 1, 2)
+			specs := c.specs(tr)
+			want, err := ExpectedDetectionTime(specs, 1, c.x, ExpectedOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: c.x, Trials: 20000, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mc.Undetected > 0 || mc.Truncated > 0 {
+				t.Fatalf("MC failed to detect: %+v", mc)
+			}
+			// 5 standard errors: a ~1-in-2M false-failure rate.
+			if diff := math.Abs(mc.Mean - want); diff > 5*mc.StdErr {
+				t.Errorf("analytic %g vs MC %g +- %g: off by %.1f sigma",
+					want, mc.Mean, mc.StdErr, diff/mc.StdErr)
+			}
+		})
+	}
+}

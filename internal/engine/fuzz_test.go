@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+)
+
+// FuzzEngineVsSim drives the differential contract under fuzzing: for
+// arbitrary (strategy case, target), the event-driven engine run with
+// unit speeds, p=0 and no delay must agree with internal/sim's direct
+// trajectory evaluation at 1e-9, and neither path may panic.
+func FuzzEngineVsSim(fz *testing.F) {
+	cases := diffCases()
+	fz.Add(uint8(0), 4.0)
+	fz.Add(uint8(5), -7.5)
+	fz.Add(uint8(9), 1e6)
+	fz.Add(uint8(13), 0.0)
+	fz.Add(uint8(16), -1e-3)
+	fz.Fuzz(func(t *testing.T, idx uint8, x float64) {
+		c := cases[int(idx)%len(cases)]
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			t.Skip()
+		}
+		st, err := strategy.Parse(c.strat)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.strat, err)
+		}
+		plan, err := sim.FromStrategy(st, c.n, c.f)
+		if err != nil {
+			t.Fatalf("FromStrategy(%s, %d, %d): %v", c.strat, c.n, c.f, err)
+		}
+		set := plan.WorstFaultAssignment(x)
+		want, err := plan.DetectionTime(x, set)
+		if err != nil {
+			t.Fatalf("DetectionTime: %v", err)
+		}
+		eng, err := FromPlan(plan, set, Options{})
+		if err != nil {
+			t.Fatalf("FromPlan: %v", err)
+		}
+		res, err := eng.Search(x, NewStream(0))
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		if !closeTimes(res.DetectTime, want, 1e-9) {
+			t.Fatalf("%s(%d,%d) x=%g: engine %v, sim %v",
+				c.strat, c.n, c.f, x, res.DetectTime, want)
+		}
+	})
+}

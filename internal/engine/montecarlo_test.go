@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"linesearch/internal/fault"
+)
+
+func stochasticFleet(t *testing.T) []RobotSpec {
+	t.Helper()
+	tr := halfLineTraj(t, 1, 2)
+	return []RobotSpec{
+		{Traj: tr, Kind: fault.PFaulty, P: 0.5},
+		{Traj: tr, Kind: fault.PFaulty, P: 0.3, Speed: 1.5},
+		{Traj: tr, Kind: fault.Crash},
+	}
+}
+
+// TestMonteCarloBitIdenticalAcrossParallelism is the satellite property
+// test: the MC estimate is a pure function of (fleet, X, Seed, Trials);
+// the worker count must not change a single bit.
+func TestMonteCarloBitIdenticalAcrossParallelism(t *testing.T) {
+	specs := stochasticFleet(t)
+	var base MCResult
+	for i, par := range []int{1, 2, 3, 7, 16, 100} {
+		res, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 4.2, Trials: 500, Seed: 99, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res != base {
+			t.Fatalf("parallelism %d changed the result:\n%+v\nvs\n%+v", par, res, base)
+		}
+	}
+}
+
+func TestMonteCarloSeedSensitivity(t *testing.T) {
+	specs := stochasticFleet(t)
+	a, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 4.2, Trials: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 4.2, Trials: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == b.Mean {
+		t.Error("different seeds produced identical means (vanishingly unlikely)")
+	}
+	c, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 4.2, Trials: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("same seed, different result")
+	}
+}
+
+func TestMonteCarloDeterministicFleetHasZeroSpread(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	fv, _ := tr.FirstVisit(3)
+	res, err := MonteCarlo(context.Background(), []RobotSpec{{Traj: tr}}, Options{}, MCConfig{X: 3, Trials: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min != res.Max || math.Abs(res.Mean-fv) > 1e-12*fv {
+		t.Errorf("deterministic fleet spread: %+v (first visit %g)", res, fv)
+	}
+	if res.StdErr != 0 {
+		t.Errorf("StdErr = %g, want 0", res.StdErr)
+	}
+}
+
+func TestMonteCarloUndetectedIsLoud(t *testing.T) {
+	tr := halfLineTraj(t, 1, 2)
+	res, err := MonteCarlo(context.Background(), []RobotSpec{{Traj: tr, Kind: fault.Crash}},
+		Options{}, MCConfig{X: 3, Trials: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undetected != 10 || !math.IsInf(res.Mean, 1) || !math.IsNaN(res.StdErr) {
+		t.Errorf("crash fleet MC = %+v, want all-undetected with +Inf mean", res)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	specs := stochasticFleet(t)
+	if _, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 3, Trials: -1}); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: math.Inf(1)}); err == nil {
+		t.Error("infinite target accepted")
+	}
+	if _, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 3, Parallelism: -2}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if _, err := MonteCarlo(context.Background(), nil, Options{}, MCConfig{X: 3}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	// Parallelism far above Trials must degrade gracefully.
+	if _, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 3, Trials: 2, Parallelism: 64}); err != nil {
+		t.Errorf("parallelism > trials: %v", err)
+	}
+}
+
+func TestMonteCarloUsesTrajectoryCache(t *testing.T) {
+	// The per-worker engine caches visit and segment streams across
+	// trials; a large run should therefore complete quickly and report
+	// per-trial event counts in a sane band. This is a smoke test for
+	// the cache path, not a benchmark.
+	specs := stochasticFleet(t)
+	res, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: 6, Trials: 5000, Seed: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undetected > 0 || res.Truncated > 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	if perTrial := float64(res.Events) / float64(res.Trials); perTrial > 200 {
+		t.Errorf("events per trial = %g, suspiciously high", perTrial)
+	}
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+
+	"linesearch/internal/fault"
+	"linesearch/internal/sim"
+)
+
+// FromPlan builds an Engine over a sim plan's trajectories with a
+// concrete fault assignment: robot i runs plan trajectory i at unit
+// speed with behaviour set[i] (a nil set means all reliable). PFaulty
+// entries inherit the model's per-visit failure probability P; the vote
+// threshold defaults to the model's (opts.Votes overrides). This is the
+// bridge the differential tests drive: an engine built this way must
+// reproduce sim.Plan.DetectionTime exactly for deterministic kinds.
+func FromPlan(p *sim.Plan, set fault.Set, opts Options) (*Engine, error) {
+	if set == nil {
+		set = make(fault.Set, p.N())
+	}
+	if len(set) != p.N() {
+		return nil, fmt.Errorf("engine: fault assignment has %d entries for %d robots", len(set), p.N())
+	}
+	model := p.Model()
+	robots := make([]RobotSpec, p.N())
+	for i, tr := range p.Trajectories() {
+		robots[i] = RobotSpec{Traj: tr, Kind: set[i]}
+		if set[i] == fault.PFaulty {
+			robots[i].P = model.P
+		}
+	}
+	if opts.Votes == 0 {
+		opts.Votes = model.VotesRequired()
+	}
+	return New(robots, opts)
+}

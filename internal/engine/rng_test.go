@@ -1,0 +1,95 @@
+package engine
+
+import "testing"
+
+func TestStreamReproducible(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	a = NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 42 and 43 collided on %d of 100 draws", same)
+	}
+}
+
+func TestStreamZeroSeedDistinct(t *testing.T) {
+	z, o := NewStream(0), NewStream(1)
+	if z.Uint64() == o.Uint64() {
+		t.Fatal("seed 0 and seed 1 produced the same first draw")
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	a := NewStream(7)
+	childBefore := a.Split(3)
+	for i := 0; i < 50; i++ {
+		a.Uint64()
+	}
+	childAfter := a.Split(3)
+	for i := 0; i < 20; i++ {
+		if childBefore.Uint64() != childAfter.Uint64() {
+			t.Fatalf("Split depends on parent consumption (draw %d)", i)
+		}
+	}
+}
+
+func TestSplitChildrenDecorrelated(t *testing.T) {
+	root := NewStream(7)
+	seen := map[uint64]uint64{}
+	for label := uint64(0); label < 1000; label++ {
+		c := root.Split(label)
+		v := c.Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("children %d and %d share their first draw", prev, label)
+		}
+		seen[v] = label
+	}
+	// A grandchild must not collide with the same-label child either.
+	c3 := root.Split(3)
+	g3 := c3.Split(3)
+	if c3.Uint64() == g3.Uint64() {
+		t.Fatal("child and grandchild with equal labels coincide")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if !(v >= 0 && v < 1) {
+			t.Fatalf("Float64() = %v outside [0, 1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(5)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) = %v is not a permutation", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s := NewStream(1)
+	s.Intn(0)
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"linesearch/internal/fault"
+	"linesearch/internal/sim"
+	"linesearch/internal/strategy"
+	"linesearch/internal/trajectory"
+)
+
+// TestPFaultyStrategyCrossValidatesEngine ties the pfaulty strategy
+// family to the engine: a plan built by the family, evaluated under its
+// ambient assignment with the worst-case crashes, must have the same
+// expected detection time as the equivalent single robot carrying the
+// collective coin p^(n-f) — and the engine's sampled mean must agree.
+func TestPFaultyStrategyCrossValidatesEngine(t *testing.T) {
+	const n, f, x = 3, 1, 11.0
+	st, err := strategy.Parse("pfaulty:0.5:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sim.FromStrategy(st, n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := plan.Model()
+	if model.Kind != fault.ModelPFaulty || model.P != 0.5 {
+		t.Fatalf("plan model = %v, want pfaulty(p=0.5)", model)
+	}
+	set := model.AmbientSet(n, 0)
+	if _, err := FromPlan(plan, set, Options{}); err != nil {
+		t.Fatalf("FromPlan with ambient assignment: %v", err)
+	}
+
+	// Analytic expectation of the fleet (robot 0 crashed, 1 and 2
+	// p-faulty on the shared trajectory).
+	specs := make([]RobotSpec, n)
+	for i, tr := range plan.Trajectories() {
+		specs[i] = RobotSpec{Traj: tr, Kind: set[i]}
+		if set[i] == fault.PFaulty {
+			specs[i].P = model.P
+		}
+	}
+	fleet, err := ExpectedDetectionTime(specs, 1, x, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equivalent single robot with the collective coin.
+	pEff := st.(strategy.PFaultySearch).EffectiveP(n, f)
+	solo, err := ExpectedDetectionTime(
+		[]RobotSpec{{Traj: plan.Trajectories()[0], Kind: fault.PFaulty, P: pEff}},
+		1, x, ExpectedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fleet-solo) > 1e-9*solo {
+		t.Errorf("fleet E[T]=%g, collective-coin solo E[T]=%g — should coincide", fleet, solo)
+	}
+
+	// And the engine's sampled mean agrees with the analytic value.
+	mc, err := MonteCarlo(context.Background(), specs, Options{}, MCConfig{X: x, Trials: 20000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Undetected > 0 || mc.Truncated > 0 {
+		t.Fatalf("MC failed to detect: %+v", mc)
+	}
+	if diff := math.Abs(mc.Mean - fleet); diff > 5*mc.StdErr {
+		t.Errorf("analytic %g vs MC %g +- %g: off by %.1f sigma",
+			fleet, mc.Mean, mc.StdErr, diff/mc.StdErr)
+	}
+}
+
+// TestPFaultyStrategyDefaultGamma checks that the parameter-free family
+// member tunes its excursion growth to the fleet's collective coin.
+func TestPFaultyStrategyDefaultGamma(t *testing.T) {
+	st, err := strategy.Parse("pfaulty:0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := st.(strategy.PFaultySearch)
+	trajs, err := ps.Build(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, ok := trajs[0].TailOf().(*trajectory.HalfZigZag)
+	if !ok {
+		t.Fatalf("tail is %T, want *trajectory.HalfZigZag", trajs[0].TailOf())
+	}
+	pEff := ps.EffectiveP(4, 2) // 0.36
+	want := strategy.OptimalGamma(pEff)
+	if got := tail.Gamma(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("default gamma = %g, want OptimalGamma(%g) = %g", got, pEff, want)
+	}
+	// The tuned growth must stay inside the convergent range for the
+	// collective coin.
+	if r := pEff * pEff * tail.Gamma(); r >= 1 {
+		t.Errorf("tuned growth is divergent: P^2*gamma = %g", r)
+	}
+}

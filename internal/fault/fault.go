@@ -44,6 +44,20 @@ const (
 	// positions of the adversary's choosing and never truthfully confirm
 	// the real target.
 	ByzantineLiar
+	// PFaulty robots (arXiv:2002.07797) follow their trajectory and try
+	// to announce, but each visit of the target independently fails to
+	// detect it with probability p. The parameter p lives in the model
+	// (Model.P) or the engine's per-robot spec, not in the kind itself.
+	// In worst-case (adversarial-coin) analyses a p-faulty robot never
+	// confirms, so Confirms reports false; the stochastic engine in
+	// internal/engine draws the per-visit coins.
+	PFaulty
+	// Delay robots detect the target reliably but report it late: their
+	// "target found" claim arrives a latency after the visit. Only the
+	// discrete-event engine, which orders claims on an event queue,
+	// gives delayed claims their distinct semantics; worst-case analyses
+	// treat an unbounded delay as silence.
+	Delay
 
 	numKinds = iota
 )
@@ -55,6 +69,8 @@ var kindNames = [numKinds]string{
 	Crash:           "crash",
 	ByzantineSilent: "silent",
 	ByzantineLiar:   "liar",
+	PFaulty:         "pfaulty",
+	Delay:           "delay",
 }
 
 // String returns the canonical name of the kind.
@@ -73,9 +89,18 @@ func (k Kind) Faulty() bool { return k != Reliable }
 func (k Kind) Byzantine() bool { return k == ByzantineSilent || k == ByzantineLiar }
 
 // Confirms reports whether a robot of this kind truthfully announces a
-// target it visits. Only reliable robots do: crash and Byzantine-silent
-// robots say nothing, and liars never tell the truth.
+// target it visits, in the worst case. Only reliable robots do: crash
+// and Byzantine-silent robots say nothing, liars never tell the truth,
+// a p-faulty robot's coins can all fail, and a delayed claim can arrive
+// arbitrarily late. The stochastic engine refines this for PFaulty and
+// Delay robots, whose claims are probabilistic or late rather than
+// absent.
 func (k Kind) Confirms() bool { return k == Reliable }
+
+// Stochastic reports whether the kind's behaviour involves randomness
+// or event timing only the discrete-event engine can evaluate: per-visit
+// detection coins (PFaulty) or late claims (Delay).
+func (k Kind) Stochastic() bool { return k == PFaulty || k == Delay }
 
 // ParseKind resolves a canonical kind name ("reliable", "crash",
 // "silent", "liar").

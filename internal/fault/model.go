@@ -17,6 +17,16 @@ const (
 	// faulty robots may stay silent or issue false claims, so a claim is
 	// accepted only once Votes distinct robots have made it.
 	ModelByzantine
+	// ModelPFaulty is the probabilistic model of arXiv:2002.07797: every
+	// robot outside the (optional) crash budget is p-faulty — each visit
+	// of the target independently fails to detect it with probability P —
+	// and the objective becomes expected detection time instead of the
+	// worst-case competitive ratio. The worst-case projection of the
+	// model (all coins fail for the F budgeted robots, succeed at first
+	// chance for the rest) coincides with the crash model, so
+	// DetectionRank stays F+1 and deterministic kernels remain usable as
+	// the P = 0 skeleton.
+	ModelPFaulty
 )
 
 // String returns the canonical model-family name.
@@ -26,6 +36,8 @@ func (mk ModelKind) String() string {
 		return "crash"
 	case ModelByzantine:
 		return "byzantine"
+	case ModelPFaulty:
+		return "pfaulty"
 	default:
 		return fmt.Sprintf("ModelKind(%d)", uint8(mk))
 	}
@@ -43,6 +55,11 @@ type Model struct {
 	// threshold the F possible liars cannot fabricate on their own.
 	// Crash models ignore it (one truthful claim suffices: nobody lies).
 	Votes int
+	// P is the per-visit detection-failure probability of the
+	// probabilistic model (ModelPFaulty): each visit of the target by a
+	// p-faulty robot independently misses it with probability P. Must
+	// lie in [0, 1); other model families ignore it.
+	P float64
 }
 
 // CrashModel returns the crash model at budget f.
@@ -52,6 +69,14 @@ func CrashModel(f int) Model { return Model{Kind: ModelCrash, F: f} }
 // given vote threshold (0 selects the default f+1).
 func ByzantineModel(f, votes int) Model {
 	return Model{Kind: ModelByzantine, F: f, Votes: votes}
+}
+
+// PFaultyModel returns the probabilistic model at crash budget f with
+// per-visit detection-failure probability p: up to f robots may be fully
+// faulty (crash), every other robot misses each visit independently with
+// probability p. f = 0 is the pure model of arXiv:2002.07797.
+func PFaultyModel(f int, p float64) Model {
+	return Model{Kind: ModelPFaulty, F: f, P: p}
 }
 
 // VotesRequired returns the number of distinct truthful claims the
@@ -83,6 +108,11 @@ func (m Model) Admits(k Kind) bool {
 		return k == Crash
 	case ModelByzantine:
 		return k == ByzantineSilent || k == ByzantineLiar
+	case ModelPFaulty:
+		// The budget buys full crashes; p-faultiness is ambient (every
+		// robot outside the budget carries it), so an explicit PFaulty
+		// entry is admitted too.
+		return k == Crash || k == PFaulty
 	default:
 		return false
 	}
@@ -95,6 +125,8 @@ func (m Model) FaultyKinds() []Kind {
 		return []Kind{Crash}
 	case ModelByzantine:
 		return []Kind{ByzantineSilent, ByzantineLiar}
+	case ModelPFaulty:
+		return []Kind{Crash, PFaulty}
 	default:
 		return nil
 	}
@@ -117,7 +149,7 @@ func (m Model) WorstKind() Kind {
 // 1, and the detection rank must not exceed n — otherwise no plan over
 // n robots can ever guarantee detection.
 func (m Model) Validate(n int) error {
-	if m.Kind != ModelCrash && m.Kind != ModelByzantine {
+	if m.Kind != ModelCrash && m.Kind != ModelByzantine && m.Kind != ModelPFaulty {
 		return fmt.Errorf("fault: unknown model kind %d", uint8(m.Kind))
 	}
 	if m.F < 0 || m.F >= n {
@@ -126,10 +158,33 @@ func (m Model) Validate(n int) error {
 	if m.Kind == ModelByzantine && m.Votes < 0 {
 		return fmt.Errorf("fault: vote threshold must be positive, got %d", m.Votes)
 	}
+	if m.Kind == ModelPFaulty && !(m.P >= 0 && m.P < 1) {
+		return fmt.Errorf("fault: detection-failure probability p=%v outside [0, 1)", m.P)
+	}
 	if rank := m.DetectionRank(); rank > n {
 		return fmt.Errorf("fault: %s needs at least %d robots (detection rank f+votes), got n=%d", m, rank, n)
 	}
 	return nil
+}
+
+// AmbientSet returns the model's ambient assignment over n robots with
+// the given robots consumed from the fault budget. In the probabilistic
+// model every robot outside the budget is p-faulty and the budgeted
+// robots crash; in the deterministic models the budgeted robots get
+// WorstKind and everyone else is reliable.
+func (m Model) AmbientSet(n int, faulty ...int) Set {
+	set := make(Set, n)
+	if m.Kind == ModelPFaulty {
+		for i := range set {
+			set[i] = PFaulty
+		}
+	}
+	for _, i := range faulty {
+		if i >= 0 && i < n {
+			set[i] = m.WorstKind()
+		}
+	}
+	return set
 }
 
 // WithF returns the model with a different fault budget. An explicit
@@ -148,6 +203,9 @@ func (m Model) String() string {
 	fmt.Fprintf(&b, "(f=%d", m.F)
 	if m.Kind == ModelByzantine {
 		fmt.Fprintf(&b, ",votes=%d", m.VotesRequired())
+	}
+	if m.Kind == ModelPFaulty {
+		fmt.Fprintf(&b, ",p=%g", m.P)
 	}
 	b.WriteByte(')')
 	return b.String()

@@ -74,9 +74,15 @@ func defaultBuild(k PlanKey) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := s.CompetitiveRatio()
-	if err != nil {
-		return nil, err
+	// Stochastic plans (the pfaulty family) have no finite worst-case
+	// ratio by design; their figure of merit is the asymptotic expected
+	// ratio, which is finite exactly when the tuned growth converges.
+	cr, ok := s.ExpectedCompetitiveRatio()
+	if !ok {
+		var err error
+		if cr, err = s.CompetitiveRatio(); err != nil {
+			return nil, err
+		}
 	}
 	if math.IsNaN(cr) || math.IsInf(cr, 0) {
 		return nil, fmt.Errorf("plan %v has unbounded competitive ratio", k)

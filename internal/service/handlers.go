@@ -73,6 +73,16 @@ type Query struct {
 	// (byzantine model only); they count against the fault budget
 	// together with Faulty, which under byzantine lists silent robots.
 	Liars []int `json:"liars,omitempty"`
+	// Objective selects the searchtime figure of merit: "" or "worst"
+	// for the deterministic worst case, "expected" for the expected
+	// detection time when surviving robots miss each visit with
+	// probability P. Speeds optionally scales the fleet (one entry
+	// broadcasts, otherwise one per robot). None of the three enters
+	// the plan-cache key: they are evaluation-time parameters of the
+	// same compiled plan.
+	Objective string    `json:"objective,omitempty"`
+	P         float64   `json:"p,omitempty"`
+	Speeds    []float64 `json:"speeds,omitempty"`
 }
 
 // apiError carries the HTTP status a failed evaluation maps to.
@@ -134,17 +144,24 @@ type PlanResult struct {
 
 // SearchTimeResult answers /v1/searchtime. Time and Ratio are null when
 // the plan cannot guarantee detection at x (the visit time is infinite).
+// Under objective=expected, Time is the expected detection time over
+// the per-visit miss coins, null when the expectation diverges; the
+// Objective, P and Speeds fields echo the request and are omitted for
+// the deterministic default, whose responses stay byte-identical.
 type SearchTimeResult struct {
-	N             int      `json:"n"`
-	F             int      `json:"f"`
-	Strategy      string   `json:"strategy"`
-	Model         string   `json:"model,omitempty"`
-	DetectionRank int      `json:"detection_rank,omitempty"`
-	X             float64  `json:"x"`
-	K             int      `json:"k"`
-	Time          *float64 `json:"time"`
-	Ratio         *float64 `json:"ratio"`
-	Detected      bool     `json:"detected"`
+	N             int       `json:"n"`
+	F             int       `json:"f"`
+	Strategy      string    `json:"strategy"`
+	Model         string    `json:"model,omitempty"`
+	DetectionRank int       `json:"detection_rank,omitempty"`
+	X             float64   `json:"x"`
+	K             int       `json:"k"`
+	Objective     string    `json:"objective,omitempty"`
+	P             float64   `json:"p,omitempty"`
+	Speeds        []float64 `json:"speeds,omitempty"`
+	Time          *float64  `json:"time"`
+	Ratio         *float64  `json:"ratio"`
+	Detected      bool      `json:"detected"`
 }
 
 // SearchTimesResult answers a searchtimes query: one worst-case
@@ -273,6 +290,47 @@ func (q *Query) normalize() error {
 	if len(q.Liars) > 0 && q.Op != OpTimeline {
 		return badRequest("liars is only valid for timeline queries")
 	}
+	switch q.Objective {
+	case "":
+	case "worst":
+		// Worst-case is the default objective: normalise so an explicit
+		// objective=worst shares the default's response shape.
+		q.Objective = ""
+	case "expected":
+		if q.Op != OpSearchTime {
+			return badRequest("objective is only valid for searchtime queries")
+		}
+		if q.Model == "byzantine" {
+			return badRequest("objective=expected requires the crash detection rule, not byzantine voting")
+		}
+		if q.K != 0 {
+			return badRequest("k is incompatible with objective=expected (detection is the first surviving confirmation)")
+		}
+	default:
+		return badRequest("unknown objective %q (want worst or expected)", q.Objective)
+	}
+	if math.IsNaN(q.P) || q.P < 0 || q.P >= 1 {
+		return badRequest("p must lie in [0, 1), got %g", q.P)
+	}
+	if q.P > 0 && q.Objective != "expected" {
+		return badRequest("p requires objective=expected")
+	}
+	if len(q.Speeds) > 0 {
+		if q.Op != OpSearchTime {
+			return badRequest("speeds is only valid for searchtime queries")
+		}
+		for i, v := range q.Speeds {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return badRequest("speeds[%d] must be positive and finite, got %g", i, v)
+			}
+		}
+		if len(q.Speeds) != 1 && len(q.Speeds) != q.N {
+			return badRequest("speeds lists %d entries for n=%d robots (one entry broadcasts)", len(q.Speeds), q.N)
+		}
+		if q.K != 0 {
+			return badRequest("k requires unit speeds")
+		}
+	}
 	// Liars additionally require a byzantine plan; the plan itself
 	// enforces that (the model can come from model= or the strategy
 	// name), so the check lives in eval.
@@ -381,10 +439,12 @@ func (s *Service) evalPlan(ctx context.Context, q Query) (any, error) {
 		Horizon:          horizon,
 		TurningPoints:    robots,
 	}
-	if plan.Searcher.FaultModel() == "byzantine" {
-		res.Model = "byzantine"
-		res.Votes = plan.Searcher.Votes()
+	if m := plan.Searcher.FaultModel(); m != "crash" {
+		res.Model = m
 		res.DetectionRank = plan.Searcher.DetectionRank()
+		if m == "byzantine" {
+			res.Votes = plan.Searcher.Votes()
+		}
 	}
 	return res, nil
 }
@@ -400,24 +460,32 @@ func (s *Service) evalSearchTime(ctx context.Context, q Query) (any, error) {
 		k = rank
 	}
 	var t float64
-	if k == rank {
+	switch {
+	case q.Objective == "expected":
+		t, err = plan.Searcher.ExpectedSearchTime(q.X, q.P, q.Speeds)
+	case len(q.Speeds) > 0:
+		t, err = plan.Searcher.SearchTimeWithSpeeds(q.X, q.Speeds)
+	case k == rank:
 		t, err = plan.Searcher.SearchTime(q.X)
-	} else {
+	default:
 		t, err = plan.Searcher.KthVisitTime(q.X, k)
 	}
 	if err != nil {
 		return nil, err
 	}
 	res := SearchTimeResult{
-		N:        q.N,
-		F:        q.F,
-		Strategy: plan.Searcher.Strategy(),
-		X:        q.X,
-		K:        k,
-		Detected: !math.IsInf(t, 1),
+		N:         q.N,
+		F:         q.F,
+		Strategy:  plan.Searcher.Strategy(),
+		X:         q.X,
+		K:         k,
+		Objective: q.Objective,
+		P:         q.P,
+		Speeds:    q.Speeds,
+		Detected:  !math.IsInf(t, 1),
 	}
-	if plan.Searcher.FaultModel() == "byzantine" {
-		res.Model = "byzantine"
+	if m := plan.Searcher.FaultModel(); m != "crash" {
+		res.Model = m
 		res.DetectionRank = rank
 	}
 	if res.Detected {
@@ -443,8 +511,8 @@ func (s *Service) evalSearchTimes(ctx context.Context, q Query) (any, error) {
 		Xs:       q.Xs,
 		Times:    make([]*float64, len(times)),
 	}
-	if plan.Searcher.FaultModel() == "byzantine" {
-		res.Model = "byzantine"
+	if m := plan.Searcher.FaultModel(); m != "crash" {
+		res.Model = m
 		res.DetectionRank = plan.Searcher.DetectionRank()
 	}
 	for i, t := range times {
@@ -508,8 +576,8 @@ func (s *Service) evalTimeline(ctx context.Context, q Query) (any, error) {
 		Tmax:     tmax,
 		Events:   make([]EventResult, len(events)),
 	}
-	if searcher.FaultModel() == "byzantine" {
-		res.Model = "byzantine"
+	if m := searcher.FaultModel(); m != "crash" {
+		res.Model = m
 		res.DetectionRank = searcher.DetectionRank()
 	}
 	for i, e := range events {
@@ -545,7 +613,7 @@ func (s *Service) evalLowerBound(q Query) (any, error) {
 // otherwise be silently ignored).
 var paramSpec = map[string]map[string]bool{
 	OpPlan:        {"n": true, "f": true, "strategy": true, "mindist": true, "horizon": true, "model": true, "votes": true},
-	OpSearchTime:  {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true, "model": true, "votes": true},
+	OpSearchTime:  {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "k": true, "model": true, "votes": true, "objective": true, "p": true, "speeds": true},
 	OpSearchTimes: {"n": true, "f": true, "strategy": true, "mindist": true, "xs": true, "model": true, "votes": true},
 	OpTimeline:    {"n": true, "f": true, "strategy": true, "mindist": true, "x": true, "faulty": true, "tmax": true, "model": true, "votes": true, "liars": true},
 	OpLowerBound:  {"n": true, "f": true},
@@ -608,7 +676,16 @@ func parseQuery(op string, v url.Values) (Query, error) {
 		}
 	}
 	if raw := v.Get("xs"); raw != "" {
-		if q.Xs, err = parseFloatList(raw); err != nil {
+		if q.Xs, err = parseFloatList(raw, "target position"); err != nil {
+			return q, err
+		}
+	}
+	q.Objective = v.Get("objective")
+	if q.P, err = floatParam(v, "p", 0); err != nil {
+		return q, err
+	}
+	if raw := v.Get("speeds"); raw != "" {
+		if q.Speeds, err = parseFloatList(raw, "speed"); err != nil {
 			return q, err
 		}
 	}
@@ -647,14 +724,15 @@ func floatParam(v url.Values, name string, def float64) (float64, error) {
 	return f, nil
 }
 
-// parseFloatList parses "1.5,-2,40" into a target list.
-func parseFloatList(raw string) ([]float64, error) {
+// parseFloatList parses "1.5,-2,40" into a float list; noun names the
+// entries in the rejection message.
+func parseFloatList(raw, noun string) ([]float64, error) {
 	parts := strings.Split(raw, ",")
 	out := make([]float64, 0, len(parts))
 	for _, p := range parts {
 		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return nil, badRequest("invalid target position %q", p)
+			return nil, badRequest("invalid %s %q", noun, p)
 		}
 		out = append(out, x)
 	}

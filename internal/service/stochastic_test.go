@@ -1,0 +1,169 @@
+package service
+
+import (
+	"math"
+	"net/http"
+	"testing"
+)
+
+// TestSearchTimeObjectiveExpected: objective=expected returns the
+// expected detection time over the per-visit miss coins — above the
+// deterministic worst case — and echoes the stochastic parameters,
+// while the default response keeps its pre-existing shape.
+func TestSearchTimeObjectiveExpected(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, worst := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&strategy=doubling&x=8", "")
+	if code != http.StatusOK {
+		t.Fatalf("worst-case status %d: %v", code, worst)
+	}
+	for _, key := range []string{"objective", "p", "speeds"} {
+		if _, ok := worst[key]; ok {
+			t.Errorf("default response leaks %q: %v", key, worst)
+		}
+	}
+	code, exp := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&strategy=doubling&x=8&objective=expected&p=0.5", "")
+	if code != http.StatusOK {
+		t.Fatalf("expected-objective status %d: %v", code, exp)
+	}
+	if exp["objective"] != "expected" || exp["p"].(float64) != 0.5 || exp["detected"] != true {
+		t.Fatalf("body = %v", exp)
+	}
+	if exp["time"].(float64) <= worst["time"].(float64) {
+		t.Errorf("expected time %v not above the worst case %v", exp["time"], worst["time"])
+	}
+	// objective=worst is the default spelled out: identical response.
+	_, spelled := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&strategy=doubling&x=8&objective=worst", "")
+	if spelled["time"] != worst["time"] || spelled["objective"] != nil {
+		t.Errorf("objective=worst diverged from the default: %v", spelled)
+	}
+}
+
+// TestSearchTimeSpeeds: a broadcast speed of 2 halves the worst-case
+// detection time; a full per-robot vector is accepted.
+func TestSearchTimeSpeeds(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	_, unit := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&x=4", "")
+	code, fast := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&x=4&speeds=2", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, fast)
+	}
+	if got, want := fast["time"].(float64), unit["time"].(float64)/2; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("speed-2 time %v, want %v", got, want)
+	}
+	code, mixed := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&x=4&speeds=1,2,3", "")
+	if code != http.StatusOK {
+		t.Fatalf("per-robot speeds status %d: %v", code, mixed)
+	}
+	if mixed["time"].(float64) > unit["time"].(float64) {
+		t.Errorf("faster fleet slower: %v > %v", mixed["time"], unit["time"])
+	}
+}
+
+// TestSearchTimeExpectedDiverges: a divergent expectation is an
+// undetected result, not an error or a truncated lie.
+func TestSearchTimeExpectedDiverges(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/searchtime?n=2&f=1&strategy=doubling&x=4&objective=expected&p=0.75", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["detected"] != false || body["time"] != nil {
+		t.Errorf("divergent expectation body = %v", body)
+	}
+}
+
+// TestSearchTimePFaultyStrategy: the half-line family works end to end
+// through the service — the plan builds (its figure of merit is the
+// asymptotic expected ratio, not the unbounded worst case), and
+// objective=expected picks up the family's own miss probability.
+func TestSearchTimePFaultyStrategy(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	code, body := doReq(t, h, "GET", "/v1/searchtime?n=3&f=1&strategy=pfaulty:0.5:2&x=9&objective=expected", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["model"] != "pfaulty" || body["detection_rank"].(float64) != 2 {
+		t.Errorf("model exposure: %v", body)
+	}
+	if body["detected"] != true || body["time"].(float64) <= 9 {
+		t.Errorf("expected time %v for x=9", body["time"])
+	}
+	code, plan := doReq(t, h, "GET", "/v1/plan?n=3&f=1&strategy=pfaulty:0.5:2", "")
+	if code != http.StatusOK {
+		t.Fatalf("plan status %d: %v", code, plan)
+	}
+	if plan["model"] != "pfaulty" {
+		t.Errorf("plan model = %v", plan["model"])
+	}
+	if cr := plan["competitive_ratio"].(float64); cr <= 1 || math.IsInf(cr, 0) {
+		t.Errorf("pfaulty figure of merit %v", cr)
+	}
+}
+
+// TestStochasticParamsShareCacheKey: p, speeds and objective are
+// evaluation-time parameters — queries differing only in them must hit
+// the same cached plan.
+func TestStochasticParamsShareCacheKey(t *testing.T) {
+	s := newTestService(t, Config{})
+	h := s.Handler()
+	targets := []string{
+		"/v1/searchtime?n=3&f=1&strategy=doubling&x=8",
+		"/v1/searchtime?n=3&f=1&strategy=doubling&x=8&objective=expected&p=0.3",
+		"/v1/searchtime?n=3&f=1&strategy=doubling&x=8&objective=expected&p=0.6&speeds=2",
+		"/v1/searchtime?n=3&f=1&strategy=doubling&x=8&speeds=1,2,3",
+	}
+	for _, target := range targets {
+		if code, body := doReq(t, h, "GET", target, ""); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d, %v", target, code, body)
+		}
+	}
+	stats := s.cache.Stats()
+	if stats.Misses != 1 || stats.Size != 1 {
+		t.Errorf("stochastic parameters split the plan cache: %+v", stats)
+	}
+}
+
+// TestStochasticParamsMalformed is the malformed-input table for the
+// new searchtime parameters.
+func TestStochasticParamsMalformed(t *testing.T) {
+	h := newTestService(t, Config{}).Handler()
+	bad := []string{
+		"/v1/searchtime?n=3&f=1&x=4&p=abc",                              // not a number
+		"/v1/searchtime?n=3&f=1&x=4&p=NaN&objective=expected",           // non-finite
+		"/v1/searchtime?n=3&f=1&x=4&p=-0.1&objective=expected",          // below the domain
+		"/v1/searchtime?n=3&f=1&x=4&p=1&objective=expected",             // certain miss
+		"/v1/searchtime?n=3&f=1&x=4&p=1.5&objective=expected",           // above the domain
+		"/v1/searchtime?n=3&f=1&x=4&p=0.5",                              // p without the expected objective
+		"/v1/searchtime?n=3&f=1&x=4&objective=bogus",                    // unknown objective
+		"/v1/searchtime?n=3&f=1&x=4&objective=expected&k=2",             // k fights the objective
+		"/v1/searchtime?n=3&f=1&x=4&objective=expected&model=byzantine", // voting has no expectation
+		"/v1/searchtime?n=3&f=1&x=4&speeds=abc",                         // not a number
+		"/v1/searchtime?n=3&f=1&x=4&speeds=0",                           // stationary robot
+		"/v1/searchtime?n=3&f=1&x=4&speeds=-1",                          // negative speed
+		"/v1/searchtime?n=3&f=1&x=4&speeds=Inf",                         // non-finite speed
+		"/v1/searchtime?n=3&f=1&x=4&speeds=1,2",                         // wrong vector length
+		"/v1/searchtime?n=3&f=1&x=4&speeds=2&k=1",                       // k requires unit speeds
+		"/v1/plan?n=3&f=1&objective=expected",                           // searchtime-only parameter
+		"/v1/plan?n=3&f=1&p=0.5",                                        // searchtime-only parameter
+		"/v1/plan?n=3&f=1&speeds=2",                                     // searchtime-only parameter
+	}
+	for _, target := range bad {
+		code, body := doReq(t, h, "GET", target, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (want 400), body %v", target, code, body)
+		}
+		if body["error"] == nil || body["error"] == "" {
+			t.Errorf("GET %s: no error message", target)
+		}
+	}
+	// The batch path bypasses paramSpec, so normalize must hold the
+	// same line for ops that cannot carry the stochastic parameters.
+	code, body := doReq(t, h, "POST", "/v1/batch",
+		`{"queries":[{"op":"plan","n":3,"f":1,"objective":"expected","p":0.5}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %v", code, body)
+	}
+	if body["errors"].(float64) != 1 {
+		t.Errorf("batch accepted stochastic parameters on a plan op: %v", body)
+	}
+}

@@ -138,6 +138,35 @@ func TestMonteCarloConfigValidation(t *testing.T) {
 	}
 }
 
+// TestMonteCarloEdgeCases pins the configuration corners: a zero trial
+// count selects the documented default, a degenerate target range is
+// rejected, and more workers than trials degrades to the serial result
+// rather than deadlocking or dropping trials.
+func TestMonteCarloEdgeCases(t *testing.T) {
+	p := mustPlan(t, strategy.Proportional{}, 3, 1)
+	res, err := p.MonteCarlo(MCConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1000 {
+		t.Errorf("zero trials ran %d, want the default 1000", res.Trials)
+	}
+	if _, err := p.MonteCarlo(MCConfig{XMin: 7, XMax: 7}); err == nil {
+		t.Error("degenerate target range XMin == XMax accepted")
+	}
+	over, err := p.MonteCarlo(MCConfig{Trials: 3, Seed: 4, Parallelism: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := p.MonteCarlo(MCConfig{Trials: 3, Seed: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Trials != 3 || over.Mean != serial.Mean || over.Min != serial.Min || over.Max != serial.Max {
+		t.Errorf("parallelism > trials: %+v differs from serial %+v", over, serial)
+	}
+}
+
 func TestMonteCarloZeroFaults(t *testing.T) {
 	p := mustPlan(t, strategy.TwoGroup{}, 4, 1)
 	mc, err := p.MonteCarlo(MCConfig{Trials: 200, Seed: 2})

@@ -1,0 +1,224 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"linesearch/internal/fault"
+	"linesearch/internal/geom"
+	"linesearch/internal/trajectory"
+)
+
+// PFaultySearch is the probabilistically-faulty half-line family
+// (arXiv:2002.07797 flavour): every robot outside the crash budget
+// detects the target on each visit only with probability 1-p, so a
+// single pass cannot finish the job — the fleet sweeps the half-line in
+// geometrically growing excursions, returning to re-offer every point
+// it has already passed. The objective is expected detection time, not
+// the worst-case competitive ratio.
+//
+// All n robots move together (simultaneous visits multiply the miss
+// probabilities), so with f crashed robots the per-collective-visit
+// miss probability is p^(n-f) — the effective coin the excursion growth
+// is tuned against.
+type PFaultySearch struct {
+	// P is the per-visit detection-failure probability of each p-faulty
+	// robot, in [0, 1). The zero value is the degenerate reliable member
+	// of the family.
+	P float64
+	// Gamma is the excursion growth factor (> 1); 0 selects
+	// OptimalGamma(p^(n-f)), the minimiser of the asymptotic expected
+	// ratio for the fleet's effective coin.
+	Gamma float64
+	// MinDistance is the known minimal target distance; 0 selects 1. It
+	// sets the first excursion length.
+	MinDistance float64
+}
+
+var _ Strategy = PFaultySearch{}
+
+// Name implements Strategy; it round-trips through Parse:
+// "pfaulty", "pfaulty:0.3", "pfaulty:0.3:2.5".
+func (s PFaultySearch) Name() string {
+	name := "pfaulty"
+	if s.P != 0 || s.Gamma != 0 {
+		name += ":" + strconv.FormatFloat(s.P, 'g', -1, 64)
+	}
+	if s.Gamma != 0 {
+		name += ":" + strconv.FormatFloat(s.Gamma, 'g', -1, 64)
+	}
+	return name
+}
+
+// Description implements Strategy.
+func (s PFaultySearch) Description() string {
+	gamma := "optimal growth"
+	if s.Gamma != 0 {
+		gamma = "growth " + strconv.FormatFloat(s.Gamma, 'g', -1, 64)
+	}
+	return fmt.Sprintf("half-line sweep with geometric excursions (%s) under per-visit miss probability p=%s; expected-time objective",
+		gamma, strconv.FormatFloat(s.P, 'g', -1, 64))
+}
+
+// FaultModel implements sim.Modeller: plans built from this strategy
+// carry the probabilistic model, so worst-case projections use the
+// crash skeleton while expected-time evaluation sees P.
+func (s PFaultySearch) FaultModel(n, f int) fault.Model {
+	return fault.PFaultyModel(f, s.P)
+}
+
+// validate checks the family parameters against a pair.
+func (s PFaultySearch) validate(n, f int) error {
+	if err := fault.PFaultyModel(f, s.P).Validate(n); err != nil {
+		return fmt.Errorf("strategy: %w", err)
+	}
+	if s.Gamma != 0 && (math.IsNaN(s.Gamma) || math.IsInf(s.Gamma, 0) || s.Gamma <= 1) {
+		return fmt.Errorf("strategy: pfaulty growth factor must be finite and exceed 1, got %v", s.Gamma)
+	}
+	return nil
+}
+
+// EffectiveP returns the per-collective-visit miss probability of the
+// fleet: the n-f robots outside the crash budget visit simultaneously
+// and miss independently, so the collective coin is p^(n-f).
+func (s PFaultySearch) EffectiveP(n, f int) float64 {
+	return math.Pow(s.P, float64(n-f))
+}
+
+// gamma resolves the excursion growth for a pair.
+func (s PFaultySearch) gamma(n, f int) float64 {
+	if s.Gamma != 0 {
+		return s.Gamma
+	}
+	return OptimalGamma(s.EffectiveP(n, f))
+}
+
+// Build implements Strategy: n copies of one rightward half-line
+// zig-zag whose first excursion is the minimal target distance.
+func (s PFaultySearch) Build(n, f int) ([]*trajectory.Trajectory, error) {
+	if err := s.validate(n, f); err != nil {
+		return nil, err
+	}
+	tail, err := trajectory.NewHalfZigZag(geom.Point{X: 0, T: 0}, minDistance(s.MinDistance), s.gamma(n, f))
+	if err != nil {
+		return nil, fmt.Errorf("strategy: pfaulty: %w", err)
+	}
+	shared, err := trajectory.New(nil, tail)
+	if err != nil {
+		return nil, err
+	}
+	trajs := make([]*trajectory.Trajectory, n)
+	for i := range trajs {
+		trajs[i] = shared
+	}
+	return trajs, nil
+}
+
+// AnalyticCR implements Strategy. The family's objective is expected
+// detection time; it has no worst-case competitive ratio (a single
+// unlucky coin run delays detection arbitrarily), so no closed form is
+// reported.
+func (PFaultySearch) AnalyticCR(n, f int) (float64, bool) { return 0, false }
+
+// ExpectedCR returns the family member's asymptotic expected
+// competitive ratio at fleet size n with budget f:
+// AsymptoticExpectedRatio at the tuned growth and the fleet's
+// collective coin. It is the stochastic analogue of AnalyticCR — the
+// family has no finite worst-case ratio (the left half-line is never
+// covered), so in expectation is the only sense its ratio is bounded.
+func (s PFaultySearch) ExpectedCR(n, f int) float64 {
+	return AsymptoticExpectedRatio(s.gamma(n, f), s.EffectiveP(n, f))
+}
+
+// AsymptoticExpectedRatio is the limit, as the target distance grows,
+// of E[T]/x for a half-line zig-zag with growth gamma under collective
+// per-visit miss probability P, taken at the worst target position
+// (just beyond an excursion tip). With R = P^2*gamma:
+//
+//	ratio(gamma, P) = 2 gamma (1-P^2) / ((gamma-1)(1-R))
+//	               + (1-P)/(1+P) + 2 P gamma (1-P) / (1-R).
+//
+// It diverges as R -> 1: growth beyond 1/P^2 makes the expectation
+// infinite.
+func AsymptoticExpectedRatio(gamma, P float64) float64 {
+	R := P * P * gamma
+	if R >= 1 {
+		return math.Inf(1)
+	}
+	return 2*gamma*(1-P*P)/((gamma-1)*(1-R)) +
+		(1-P)/(1+P) + 2*P*gamma*(1-P)/(1-R)
+}
+
+// OptimalGamma returns the excursion growth minimising
+// AsymptoticExpectedRatio for collective miss probability P in [0, 1).
+// P = 0 degenerates to the classic doubling choice gamma = 2 (any
+// growth detects at the first visit; 2 keeps the worst-case overhead of
+// the skeleton minimal). For P > 0 the minimiser is interior to
+// (1, 1/P^2) and found by golden-section search.
+func OptimalGamma(P float64) float64 {
+	if P == 0 {
+		return 2
+	}
+	lo, hi := 1.05, math.Min(1e6, 0.999/(P*P))
+	if hi <= lo {
+		return lo
+	}
+	const phi = 0.6180339887498949 // (sqrt(5)-1)/2
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := AsymptoticExpectedRatio(c, P), AsymptoticExpectedRatio(d, P)
+	for i := 0; i < 200 && b-a > 1e-10*math.Max(1, b); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = AsymptoticExpectedRatio(c, P)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = AsymptoticExpectedRatio(d, P)
+		}
+	}
+	return (a + b) / 2
+}
+
+// isPFaultyName reports whether name selects the p-faulty family.
+func isPFaultyName(name string) bool {
+	return name == "pfaulty" || strings.HasPrefix(name, "pfaulty:")
+}
+
+// parsePFaulty parses "pfaulty[:<p>[:<gamma>]]". The miss probability
+// must lie in [0, 1) (a p of 1 never detects); the optional growth
+// factor must be finite and exceed 1.
+func parsePFaulty(name string) (Strategy, error) {
+	rest := strings.TrimPrefix(name, "pfaulty")
+	s := PFaultySearch{}
+	if rest == "" {
+		return s, nil
+	}
+	parts := strings.Split(strings.TrimPrefix(rest, ":"), ":")
+	if len(parts) > 2 {
+		return nil, fmt.Errorf("strategy: malformed pfaulty strategy %q (want pfaulty[:p[:gamma]])", name)
+	}
+	p, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: invalid pfaulty miss probability %q: %w", parts[0], err)
+	}
+	if !(p >= 0 && p < 1) {
+		return nil, fmt.Errorf("strategy: pfaulty miss probability must lie in [0, 1), got %v", p)
+	}
+	s.P = p
+	if len(parts) == 2 {
+		gamma, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("strategy: invalid pfaulty growth factor %q: %w", parts[1], err)
+		}
+		if math.IsInf(gamma, 0) || !(gamma > 1) {
+			return nil, fmt.Errorf("strategy: pfaulty growth factor must be finite and exceed 1, got %v", gamma)
+		}
+		s.Gamma = gamma
+	}
+	return s, nil
+}

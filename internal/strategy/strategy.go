@@ -38,6 +38,7 @@ func Registry() []Strategy {
 		TwoGroup{},
 		Doubling{},
 		Byzantine{},
+		PFaultySearch{},
 	}
 	sort.Slice(ss, func(i, j int) bool { return ss[i].Name() < ss[j].Name() })
 	return ss
@@ -49,9 +50,15 @@ func Registry() []Strategy {
 // ablation schedule in the same cone, and "byzantine[@<votes>][:<base>]"
 // the Byzantine voting-rule family — optionally with an explicit vote
 // threshold and an explicit crash base (e.g. "byzantine@3:cone:2.5").
+// "pfaulty[:<p>[:<gamma>]]" selects the probabilistic half-line family
+// with per-visit miss probability p and optional excursion growth gamma
+// (e.g. "pfaulty:0.3", "pfaulty:0.3:2.5").
 func Parse(name string) (Strategy, error) {
 	if isByzantineName(name) {
 		return parseByzantine(name)
+	}
+	if isPFaultyName(name) {
+		return parsePFaulty(name)
 	}
 	if rest, ok := strings.CutPrefix(name, "cone:"); ok {
 		beta, err := parseBeta(rest)
@@ -76,7 +83,7 @@ func Parse(name string) (Strategy, error) {
 	for _, s := range Registry() {
 		names = append(names, s.Name())
 	}
-	return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s, cone:<beta>, uniform:<beta>, byzantine[@votes][:base])", name, strings.Join(names, ", "))
+	return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s, cone:<beta>, uniform:<beta>, byzantine[@votes][:base], pfaulty[:p[:gamma]])", name, strings.Join(names, ", "))
 }
 
 // parseBeta parses a cone slope argument and enforces beta > 1.

@@ -7,6 +7,8 @@ import (
 
 	"linesearch/internal/analysis"
 	"linesearch/internal/compiled"
+	"linesearch/internal/engine"
+	"linesearch/internal/fault"
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
@@ -53,6 +55,21 @@ type Cell struct {
 	// detection rule fires at (f+votes under a Byzantine model); 0 for
 	// crash-only specs.
 	DetectionRank int `json:"detection_rank,omitempty"`
+	// P/PID echo the p-axis entry the cell ran under; Speeds/SpeedID the
+	// speed-vector entry. All omitted for specs predating the axes,
+	// keeping their datasets byte-identical.
+	P       *float64  `json:"p,omitempty"`
+	PID     int       `json:"p_id,omitempty"`
+	Speeds  []float64 `json:"speeds,omitempty"`
+	SpeedID int       `json:"speed_id,omitempty"`
+	// ExpectedRatio is the stochastic objective: sup E[T(x)]/x over the
+	// candidate targets, evaluated through the engine's analytic series
+	// with the worst-case crash assignment per target. ExpectedArgX
+	// witnesses the supremum; Diverged marks cells whose expectation is
+	// infinite somewhere in the target range.
+	ExpectedRatio *float64 `json:"expected_ratio,omitempty"`
+	ExpectedArgX  float64  `json:"expected_arg_x,omitempty"`
+	Diverged      bool     `json:"diverged,omitempty"`
 	// Err is the cell's failure message, empty on success.
 	Err string `json:"error,omitempty"`
 	// Attempts is how many evaluations this cell took (1 on a clean
@@ -99,10 +116,26 @@ type EvalFunc func(ctx context.Context, p CellParams) Cell
 // failedCell returns the error-carrying cell for p, classified for the
 // retry layer.
 func failedCell(p CellParams, err error) Cell {
-	return Cell{Index: p.Index, N: p.N, F: p.F, Strategy: p.Strategy,
+	c := Cell{Index: p.Index, N: p.N, F: p.F, Strategy: p.Strategy,
 		StrategyID: p.StrategyID, FaultModel: p.FaultModel, ModelID: p.ModelID,
 		Err:       err.Error(),
 		transient: isTransient(err), cancelled: isCancelled(err)}
+	c.stampAxes(p)
+	return c
+}
+
+// stampAxes copies the stochastic-axis coordinates onto the cell; a
+// no-op for cells on the implied deterministic axes.
+func (c *Cell) stampAxes(p CellParams) {
+	if p.HasP {
+		v := p.P
+		c.P = &v
+		c.PID = p.PID
+	}
+	if len(p.Speeds) > 0 {
+		c.Speeds = p.Speeds
+		c.SpeedID = p.SpeedID
+	}
 }
 
 // EvalCell is the production evaluator: resolve the strategy, realise
@@ -176,7 +209,102 @@ func EvalCell(ctx context.Context, p CellParams) Cell {
 			cell.AbsError = &diff
 		}
 	}
+	cell.stampAxes(p)
+	if p.HasP || len(p.Speeds) > 0 || plan.Model().Kind == fault.ModelPFaulty {
+		if err := evalExpected(ctx, plan, p, &cell); err != nil {
+			return failedCell(p, err)
+		}
+	}
 	return cell
+}
+
+// evalExpected adds the stochastic objective to a cell: the supremum of
+// E[T(x)]/|x| over the candidate targets, through the engine's analytic
+// series. The per-visit miss probability comes from the plan's model
+// (pfaulty fault-model axis) or the cell's p-axis entry; speeds from
+// the cell's speed vector (one entry broadcasts). Each target is
+// evaluated under the plan's worst-case crash assignment, the
+// stochastic analogue of the deterministic supremum.
+func evalExpected(ctx context.Context, plan *sim.Plan, p CellParams, cell *Cell) error {
+	_, span := telemetry.StartSpan(ctx, "cell.expected")
+	defer span.End()
+	pVal := 0.0
+	if m := plan.Model(); m.Kind == fault.ModelPFaulty {
+		pVal = m.P
+	}
+	if p.HasP {
+		pVal = p.P
+	}
+	span.SetFloat("p", pVal)
+	trajs := plan.Trajectories()
+	specs := make([]engine.RobotSpec, len(trajs))
+	for i, tr := range trajs {
+		specs[i] = engine.RobotSpec{Traj: tr}
+		switch {
+		case len(p.Speeds) == 1:
+			specs[i].Speed = p.Speeds[0]
+		case len(p.Speeds) > 1:
+			specs[i].Speed = p.Speeds[i]
+		}
+	}
+	sup, argx, finite := math.Inf(-1), 0.0, 0
+	targets := expectedTargets(plan, p)
+	span.SetInt("targets", int64(len(targets)))
+	for _, x := range targets {
+		set := plan.WorstFaultAssignment(x)
+		for i := range specs {
+			switch {
+			case set[i].Faulty():
+				specs[i].Kind, specs[i].P = fault.Crash, 0
+			case pVal > 0:
+				specs[i].Kind, specs[i].P = fault.PFaulty, pVal
+			default:
+				specs[i].Kind, specs[i].P = fault.Reliable, 0
+			}
+		}
+		et, err := engine.ExpectedDetectionTime(specs, 1, x, engine.ExpectedOpts{})
+		if err != nil {
+			return err
+		}
+		if math.IsInf(et, 1) {
+			cell.Diverged = true
+			continue
+		}
+		finite++
+		if r := et / math.Abs(x); r > sup {
+			sup, argx = r, x
+		}
+	}
+	if finite > 0 {
+		cell.ExpectedRatio = &sup
+		cell.ExpectedArgX = argx
+	}
+	return nil
+}
+
+// expectedTargets returns the stochastic objective's candidate grid:
+// GridPoints log-spaced targets per half-line, skipping half-lines the
+// plan never covers (the pfaulty family searches only to the right).
+func expectedTargets(plan *sim.Plan, p CellParams) []float64 {
+	logSpan := math.Log(p.XMax / p.XMin)
+	var out []float64
+	for _, sign := range []float64{1, -1} {
+		covered := false
+		for _, tr := range plan.Trajectories() {
+			if _, ok := tr.FirstVisit(sign * p.XMin); ok {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		for i := 0; i < p.GridPoints; i++ {
+			frac := float64(i) / float64(p.GridPoints-1)
+			out = append(out, sign*p.XMin*math.Exp(frac*logSpan))
+		}
+	}
+	return out
 }
 
 // resolveStrategy turns a spec strategy name into a concrete Strategy

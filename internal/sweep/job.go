@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -206,18 +207,32 @@ var resultColumns = []string{
 
 // Dataset exports the job's successful cells as a columnar dataset in
 // cell-index order. Specs with a fault-model axis append model_id
-// (indexing Spec.FaultModels) and detection_rank columns; crash-only
-// datasets keep the original schema byte-for-byte.
+// (indexing Spec.FaultModels) and detection_rank columns; specs with a
+// stochastic dimension (a p or speeds axis, or a pfaulty fault model)
+// append p, speed_id, expected_ratio and expected_arg_x columns.
+// Crash-only datasets keep the original schema byte-for-byte.
 func (j *Job) Dataset() (*trace.Dataset, error) {
 	j.mu.Lock()
 	cells := j.sortedCellsLocked()
 	name := j.spec.Name
 	modelAxis := len(j.spec.FaultModels) > 0
+	stochastic := len(j.spec.P) > 0 || len(j.spec.Speeds) > 0
+	for _, m := range j.spec.FaultModels {
+		if m == "pfaulty" || strings.HasPrefix(m, "pfaulty:") {
+			stochastic = true
+		}
+	}
 	j.mu.Unlock()
 
 	columns := resultColumns
+	if modelAxis || stochastic {
+		columns = append([]string{}, resultColumns...)
+	}
 	if modelAxis {
-		columns = append(append([]string{}, resultColumns...), "model_id", "detection_rank")
+		columns = append(columns, "model_id", "detection_rank")
+	}
+	if stochastic {
+		columns = append(columns, "p", "speed_id", "expected_ratio", "expected_arg_x")
 	}
 	d := &trace.Dataset{Name: name, Columns: columns}
 	orNaN := func(p *float64) float64 {
@@ -237,6 +252,9 @@ func (j *Job) Dataset() (*trace.Dataset, error) {
 		}
 		if modelAxis {
 			row = append(row, float64(c.ModelID), float64(c.DetectionRank))
+		}
+		if stochastic {
+			row = append(row, orNaN(c.P), float64(c.SpeedID), orNaN(c.ExpectedRatio), c.ExpectedArgX)
 		}
 		if err := d.AddRow(row...); err != nil {
 			return nil, err

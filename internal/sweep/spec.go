@@ -51,6 +51,19 @@ type Spec struct {
 	// content hash (and therefore job identity and resume) of every
 	// pre-existing crash-only spec is unchanged.
 	FaultModels []string `json:"fault_models,omitempty"`
+	// P lists ambient per-visit miss probabilities (each in [0, 1)):
+	// every grid cell is additionally evaluated under the expected-time
+	// objective with its non-crashed robots p-faulty at each value.
+	// Empty means deterministic-only evaluation — the field is omitted
+	// from the normalised spec, so the content hash (and therefore job
+	// identity, resume and datasets) of every pre-existing crash-only
+	// spec is unchanged.
+	P []float64 `json:"p,omitempty"`
+	// Speeds lists per-robot speed vectors for the heterogeneous-speed
+	// axis. A length-1 vector broadcasts its speed to the whole fleet;
+	// longer vectors must match every n in N. Empty means unit speeds
+	// (implied, hash-neutral like P).
+	Speeds [][]float64 `json:"speeds,omitempty"`
 	// XMin is the smallest target distance measured (default 1).
 	XMin float64 `json:"xmin,omitempty"`
 	// XMax is the largest target distance measured (default 100*XMin).
@@ -139,6 +152,38 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
+	for _, p := range s.P {
+		if math.IsNaN(p) || !(p >= 0 && p < 1) {
+			return fmt.Errorf("sweep: p values must lie in [0, 1), got %v", p)
+		}
+	}
+	for _, v := range s.Speeds {
+		if len(v) == 0 {
+			return fmt.Errorf("sweep: speed vectors must not be empty")
+		}
+		for _, sp := range v {
+			if math.IsNaN(sp) || math.IsInf(sp, 0) || sp <= 0 {
+				return fmt.Errorf("sweep: speeds must be positive finite numbers, got %v", sp)
+			}
+		}
+		if len(v) > 1 {
+			for _, n := range s.N {
+				if n != len(v) {
+					return fmt.Errorf("sweep: speed vector length %d does not match n=%d (use a single speed to broadcast)", len(v), n)
+				}
+			}
+		}
+	}
+	if len(s.P) > 0 || len(s.Speeds) > 0 {
+		// The stochastic axes evaluate expected detection time through
+		// the analytic series, which needs a single-vote detection rule
+		// and owns the p parameter itself.
+		for _, m := range s.FaultModels {
+			if m != ModelCrash {
+				return fmt.Errorf("sweep: the p/speeds axes need the crash detection rule (votes=1); fault model %q cannot combine with them — run separate sweeps", m)
+			}
+		}
+	}
 	if math.IsNaN(s.XMin) || math.IsInf(s.XMin, 0) || s.XMin <= 0 {
 		return fmt.Errorf("sweep: xmin must be a positive finite number, got %g", s.XMin)
 	}
@@ -158,23 +203,35 @@ func (s *Spec) Validate() error {
 // paper's crash model (also the implied axis when FaultModels is empty).
 const ModelCrash = "crash"
 
-// validateModelName accepts "crash", "byzantine" and "byzantine@<votes>".
-// Entries with an embedded base (e.g. "byzantine:doubling") are
-// rejected: the schedule shape belongs on the strategy axis, the
-// detection rule on the model axis.
+// validateModelName accepts "crash", "byzantine", "byzantine@<votes>"
+// and "pfaulty[:<p>[:<gamma>]]" (the probabilistic family brings its
+// own half-line schedule, so it pairs only with the "auto" strategy
+// entry). Byzantine entries with an embedded base (e.g.
+// "byzantine:doubling") are rejected: the schedule shape belongs on the
+// strategy axis, the detection rule on the model axis.
 func validateModelName(name string) error {
 	if name == ModelCrash {
 		return nil
 	}
+	if name == "pfaulty" || strings.HasPrefix(name, "pfaulty:") {
+		st, err := strategy.Parse(name)
+		if err != nil {
+			return fmt.Errorf("sweep: invalid fault model %q: %w", name, err)
+		}
+		if _, ok := st.(strategy.PFaultySearch); !ok {
+			return fmt.Errorf("sweep: fault model %q is a strategy, want crash, byzantine[@votes] or pfaulty[:p[:gamma]]", name)
+		}
+		return nil
+	}
 	if strings.Contains(name, ":") {
-		return fmt.Errorf("sweep: fault model %q must not name a base strategy (use the strategies axis), want crash or byzantine[@votes]", name)
+		return fmt.Errorf("sweep: fault model %q must not name a base strategy (use the strategies axis), want crash, byzantine[@votes] or pfaulty[:p[:gamma]]", name)
 	}
 	st, err := strategy.Parse(name)
 	if err != nil {
-		return fmt.Errorf("sweep: invalid fault model %q: want crash or byzantine[@votes]: %w", name, err)
+		return fmt.Errorf("sweep: invalid fault model %q: want crash, byzantine[@votes] or pfaulty[:p[:gamma]]: %w", name, err)
 	}
 	if _, ok := st.(strategy.Byzantine); !ok {
-		return fmt.Errorf("sweep: fault model %q is a strategy, want crash or byzantine[@votes]", name)
+		return fmt.Errorf("sweep: fault model %q is a strategy, want crash, byzantine[@votes] or pfaulty[:p[:gamma]]", name)
 	}
 	return nil
 }
@@ -216,9 +273,31 @@ func (s Spec) StrategyAxis() []string {
 	return axis
 }
 
-// CellCount returns the grid size |models| * |strategies| * |N| * |F|.
+// pAxis returns the p axis values plus whether the axis is explicit
+// (an empty axis enumerates one implied deterministic entry, keeping
+// pre-axis cell indices, checkpoints and hashes unchanged).
+func (s Spec) pAxis() ([]float64, bool) {
+	if len(s.P) == 0 {
+		return []float64{0}, false
+	}
+	return s.P, true
+}
+
+// speedAxis returns the speed-vector axis with the implied unit entry
+// when empty, mirroring pAxis.
+func (s Spec) speedAxis() ([][]float64, bool) {
+	if len(s.Speeds) == 0 {
+		return [][]float64{nil}, false
+	}
+	return s.Speeds, true
+}
+
+// CellCount returns the grid size
+// |models| * |strategies| * |N| * |F| * |P| * |Speeds|.
 func (s Spec) CellCount() int {
-	return len(s.ModelAxis()) * len(s.StrategyAxis()) * len(s.N) * len(s.F)
+	ps, _ := s.pAxis()
+	sp, _ := s.speedAxis()
+	return len(s.ModelAxis()) * len(s.StrategyAxis()) * len(s.N) * len(s.F) * len(ps) * len(sp)
 }
 
 // CellParams identifies one grid cell plus the measurement parameters
@@ -236,34 +315,57 @@ type CellParams struct {
 	// crash-only axis); ModelID is its index on that axis.
 	FaultModel string
 	ModelID    int
+	// P is the ambient per-visit miss probability of the cell's p-axis
+	// entry; HasP distinguishes an explicit 0 from the implied
+	// deterministic axis. PID is the axis index.
+	P    float64
+	PID  int
+	HasP bool
+	// Speeds is the cell's per-robot speed vector (nil for the implied
+	// unit axis; a single entry broadcasts); SpeedID is the axis index.
+	Speeds     []float64
+	SpeedID    int
 	XMin       float64
 	XMax       float64
 	GridPoints int
 	Eps        float64
 }
 
-// Cells enumerates the grid in canonical order.
+// Cells enumerates the grid in canonical order (model-major, then
+// strategy, n, f, p, speeds — the new axes are innermost, so with both
+// implied every pre-axis checkpoint index is unchanged).
 func (s Spec) Cells() []CellParams {
 	models := s.ModelAxis()
 	axis := s.StrategyAxis()
+	ps, hasP := s.pAxis()
+	speeds, _ := s.speedAxis()
 	out := make([]CellParams, 0, s.CellCount())
 	for mi, m := range models {
 		for si, st := range axis {
 			for _, n := range s.N {
 				for _, f := range s.F {
-					out = append(out, CellParams{
-						Index:      len(out),
-						N:          n,
-						F:          f,
-						Strategy:   st,
-						StrategyID: si,
-						FaultModel: m,
-						ModelID:    mi,
-						XMin:       s.XMin,
-						XMax:       s.XMax,
-						GridPoints: s.GridPoints,
-						Eps:        s.Eps,
-					})
+					for pi, p := range ps {
+						for vi, v := range speeds {
+							out = append(out, CellParams{
+								Index:      len(out),
+								N:          n,
+								F:          f,
+								Strategy:   st,
+								StrategyID: si,
+								FaultModel: m,
+								ModelID:    mi,
+								P:          p,
+								PID:        pi,
+								HasP:       hasP,
+								Speeds:     v,
+								SpeedID:    vi,
+								XMin:       s.XMin,
+								XMax:       s.XMax,
+								GridPoints: s.GridPoints,
+								Eps:        s.Eps,
+							})
+						}
+					}
 				}
 			}
 		}

@@ -1,0 +1,243 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestStochasticAxesHashNeutral pins the resume contract for the new
+// axes: a crash-only spec hashes identically whether or not the binary
+// knows about p/speeds, and setting either axis changes the identity.
+func TestStochasticAxesHashNeutral(t *testing.T) {
+	base := Spec{N: []int{3}, F: []int{1}}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	withP := Spec{N: []int{3}, F: []int{1}, P: []float64{0.5}}
+	if err := withP.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	withSpeeds := Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{2}}}
+	if err := withSpeeds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() == withP.Hash() || base.Hash() == withSpeeds.Hash() {
+		t.Error("stochastic axes do not contribute to the spec hash")
+	}
+	// The crash-only JSON shape (and so the hash) is pinned by
+	// TestFaultModelAxisHashPreserved; here we only need the implied
+	// axes to keep the cell enumeration identical.
+	if base.CellCount() != 1 || base.Cells()[0].HasP || base.Cells()[0].Speeds != nil {
+		t.Errorf("implied axes leak into crash-only cells: %+v", base.Cells()[0])
+	}
+}
+
+func TestStochasticAxesValidation(t *testing.T) {
+	ok := func(s Spec) {
+		t.Helper()
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec rejected: %v", err)
+		}
+	}
+	bad := func(s Spec, why string) {
+		t.Helper()
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", why)
+		}
+	}
+	ok(Spec{N: []int{3}, F: []int{1}, P: []float64{0, 0.5, 0.99}})
+	ok(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{2}, {1, 2, 3}}})
+	ok(Spec{N: []int{3}, F: []int{1}, FaultModels: []string{"pfaulty:0.5"}})
+	ok(Spec{N: []int{3}, F: []int{1}, FaultModels: []string{"pfaulty:0.5:2.5", "crash"}})
+
+	bad(Spec{N: []int{3}, F: []int{1}, P: []float64{1}}, "p=1")
+	bad(Spec{N: []int{3}, F: []int{1}, P: []float64{-0.1}}, "p=-0.1")
+	bad(Spec{N: []int{3}, F: []int{1}, P: []float64{math.NaN()}}, "p=NaN")
+	bad(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{}}}, "empty speed vector")
+	bad(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{0}}}, "zero speed")
+	bad(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{-1}}}, "negative speed")
+	bad(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{math.Inf(1)}}}, "infinite speed")
+	bad(Spec{N: []int{3}, F: []int{1}, Speeds: [][]float64{{1, 2}}}, "speed vector length 2 for n=3")
+	bad(Spec{N: []int{3, 4}, F: []int{1}, Speeds: [][]float64{{1, 2, 3}}}, "speed vector matching only one n")
+	bad(Spec{N: []int{3}, F: []int{1}, P: []float64{0.5}, FaultModels: []string{"byzantine"}},
+		"p axis with byzantine model")
+	bad(Spec{N: []int{3}, F: []int{1}, P: []float64{0.5}, FaultModels: []string{"pfaulty:0.3"}},
+		"p axis with pfaulty model")
+	bad(Spec{N: []int{3}, F: []int{1}, FaultModels: []string{"pfaulty:1.5"}}, "pfaulty model p=1.5")
+	bad(Spec{N: []int{3}, F: []int{1}, FaultModels: []string{"pfaulty:0.5"},
+		Strategies: []string{"doubling"}}, "pfaulty model wrapping a strategy")
+}
+
+func TestStochasticAxesEnumeration(t *testing.T) {
+	spec := Spec{N: []int{2}, F: []int{0}, Strategies: []string{"doubling"},
+		P: []float64{0.3, 0.5}, Speeds: [][]float64{{1}, {2}}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 4 || spec.CellCount() != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	want := []struct {
+		p     float64
+		pid   int
+		speed float64
+		sid   int
+	}{{0.3, 0, 1, 0}, {0.3, 0, 2, 1}, {0.5, 1, 1, 0}, {0.5, 1, 2, 1}}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		w := want[i]
+		if !c.HasP || c.P != w.p || c.PID != w.pid {
+			t.Errorf("cell %d: p %v/%d (has=%v), want %v/%d", i, c.P, c.PID, c.HasP, w.p, w.pid)
+		}
+		if len(c.Speeds) != 1 || c.Speeds[0] != w.speed || c.SpeedID != w.sid {
+			t.Errorf("cell %d: speeds %v/%d, want [%v]/%d", i, c.Speeds, c.SpeedID, w.speed, w.sid)
+		}
+	}
+}
+
+// TestEvalCellPAxis runs one p-axis cell end to end: the deterministic
+// CR measurement is unchanged and the stochastic objective appears. On
+// the shared doubling trajectory the n-f=2 surviving robots visit
+// simultaneously, so the collective coin is p^2 and the series
+// converges well inside R = (p^2)^2 * 2 < 1.
+func TestEvalCellPAxis(t *testing.T) {
+	spec := Spec{N: []int{3}, F: []int{1}, Strategies: []string{"doubling"},
+		P: []float64{0.5}, XMax: 30, GridPoints: 8}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cell := EvalCell(context.Background(), spec.Cells()[0])
+	if !cell.OK() {
+		t.Fatalf("cell failed: %s", cell.Err)
+	}
+	if cell.P == nil || *cell.P != 0.5 {
+		t.Fatalf("cell lost its p coordinate: %+v", cell)
+	}
+	if cell.EmpiricalCR == nil || cell.AnalyticCR == nil {
+		t.Fatalf("deterministic measurements missing: %+v", cell)
+	}
+	if cell.ExpectedRatio == nil {
+		t.Fatalf("no expected ratio (diverged=%v): %+v", cell.Diverged, cell)
+	}
+	if cell.Diverged {
+		t.Error("convergent cell marked diverged")
+	}
+	// The expected ratio exceeds the deterministic CR: coins only delay.
+	if *cell.ExpectedRatio <= *cell.EmpiricalCR {
+		t.Errorf("expected ratio %g not above deterministic CR %g",
+			*cell.ExpectedRatio, *cell.EmpiricalCR)
+	}
+}
+
+// TestEvalCellPAxisDiverges: one surviving robot with p=0.75 on the
+// doubling walk has R = 0.5625*2 > 1 — every target's expectation is
+// infinite and the cell must say so instead of truncating a lie.
+func TestEvalCellPAxisDiverges(t *testing.T) {
+	spec := Spec{N: []int{2}, F: []int{1}, Strategies: []string{"doubling"},
+		P: []float64{0.75}, XMax: 10, GridPoints: 4}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cell := EvalCell(context.Background(), spec.Cells()[0])
+	if !cell.OK() {
+		t.Fatalf("cell failed: %s", cell.Err)
+	}
+	if !cell.Diverged {
+		t.Error("divergent cell not marked")
+	}
+	if cell.ExpectedRatio != nil {
+		t.Errorf("divergent cell reports expected ratio %g", *cell.ExpectedRatio)
+	}
+}
+
+// TestEvalCellSpeedAxis: a broadcast speed of 2 halves every detection
+// time, so the expected ratio is half the unit-speed cell's.
+func TestEvalCellSpeedAxis(t *testing.T) {
+	run := func(speeds [][]float64) Cell {
+		t.Helper()
+		spec := Spec{N: []int{3}, F: []int{1}, Strategies: []string{"doubling"},
+			P: []float64{0.5}, Speeds: speeds, XMax: 30, GridPoints: 8}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cell := EvalCell(context.Background(), spec.Cells()[0])
+		if !cell.OK() || cell.ExpectedRatio == nil {
+			t.Fatalf("cell: %+v", cell)
+		}
+		return cell
+	}
+	unit := run(nil)
+	fast := run([][]float64{{2}})
+	if len(fast.Speeds) != 1 || fast.Speeds[0] != 2 {
+		t.Fatalf("cell lost its speed vector: %+v", fast)
+	}
+	if got, want := *fast.ExpectedRatio, *unit.ExpectedRatio/2; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("speed-2 expected ratio %g, want half of %g", got, *unit.ExpectedRatio)
+	}
+}
+
+// TestEvalCellPFaultyModel runs the pfaulty fault-model axis: the cell
+// resolves to the half-line family, records the expected objective, and
+// only probes the covered half-line.
+func TestEvalCellPFaultyModel(t *testing.T) {
+	spec := Spec{N: []int{3}, F: []int{1}, FaultModels: []string{"pfaulty:0.5:2"},
+		XMax: 30, GridPoints: 8}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cell := EvalCell(context.Background(), spec.Cells()[0])
+	if !cell.OK() {
+		t.Fatalf("cell failed: %s", cell.Err)
+	}
+	if cell.Resolved != "pfaulty:0.5:2" {
+		t.Errorf("resolved %q, want pfaulty:0.5:2", cell.Resolved)
+	}
+	if cell.ExpectedRatio == nil {
+		t.Fatalf("no expected ratio (diverged=%v): %+v", cell.Diverged, cell)
+	}
+	if cell.ExpectedArgX <= 0 {
+		t.Errorf("expected arg x = %g; the half-line family never covers the left side", cell.ExpectedArgX)
+	}
+	if cell.DetectionRank != 2 {
+		t.Errorf("detection rank %d, want 2 (crash skeleton f+1)", cell.DetectionRank)
+	}
+}
+
+// TestDatasetStochasticColumns pins the export schema: stochastic specs
+// append p, speed_id, expected_ratio and expected_arg_x columns.
+func TestDatasetStochasticColumns(t *testing.T) {
+	m := NewManager(Config{Dir: t.TempDir(), Workers: 2, Logger: quiet()})
+	defer m.Close()
+	spec := Spec{N: []int{3}, F: []int{1}, Strategies: []string{"doubling"},
+		P: []float64{0.5}, XMax: 20, GridPoints: 8}
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j); st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	ds, err := j.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ds.Columns)
+	if n < 4 || ds.Columns[n-4] != "p" || ds.Columns[n-3] != "speed_id" ||
+		ds.Columns[n-2] != "expected_ratio" || ds.Columns[n-1] != "expected_arg_x" {
+		t.Fatalf("stochastic dataset columns: %v", ds.Columns)
+	}
+	if len(ds.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(ds.Rows))
+	}
+	row := ds.Rows[0]
+	if row[n-4] != 0.5 {
+		t.Errorf("p column = %v, want 0.5", row[n-4])
+	}
+	if math.IsNaN(row[n-2]) || row[n-2] <= 0 {
+		t.Errorf("expected_ratio column = %v", row[n-2])
+	}
+}

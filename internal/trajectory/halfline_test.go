@@ -1,0 +1,226 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/geom"
+)
+
+func TestHalfZigZagValidate(t *testing.T) {
+	origin := geom.Point{X: 0, T: 0}
+	cases := []struct {
+		name   string
+		anchor geom.Point
+		first  float64
+		gamma  float64
+		ok     bool
+	}{
+		{"basic", origin, 1, 2, true},
+		{"leftward", geom.Point{X: 5, T: 3}, -2, 1.5, true},
+		{"zero first", origin, 0, 2, false},
+		{"nan first", origin, math.NaN(), 2, false},
+		{"inf first", origin, math.Inf(1), 2, false},
+		{"gamma one", origin, 1, 1, false},
+		{"gamma below one", origin, 1, 0.5, false},
+		{"nan gamma", origin, 1, math.NaN(), false},
+		{"inf gamma", origin, 1, math.Inf(1), false},
+		{"negative anchor time", geom.Point{X: 0, T: -1}, 1, 2, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h, err := NewHalfZigZag(c.anchor, c.first, c.gamma)
+			if c.ok && err != nil {
+				t.Fatalf("NewHalfZigZag: %v", err)
+			}
+			if !c.ok {
+				if err == nil {
+					t.Fatalf("NewHalfZigZag accepted invalid input")
+				}
+				return
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestHalfZigZagFirstVisit(t *testing.T) {
+	h := MustHalfZigZag(geom.Point{X: 0, T: 0}, 1, 2)
+	// Excursions reach 1, 2, 4, 8, ... with depart times 0, 2, 6, 14, ...
+	cases := []struct {
+		x    float64
+		want float64
+		ok   bool
+	}{
+		{0, 0, true},
+		{0.5, 0.5, true},
+		{1, 1, true},
+		{1.5, 3.5, true}, // excursion 1, departs at 2
+		{2, 4, true},     // tip of excursion 1
+		{3, 9, true},     // excursion 2, departs at 6
+		{4, 10, true},    // tip of excursion 2
+		{5, 19, true},    // excursion 3, departs at 14
+		{-0.001, 0, false},
+		{-10, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := h.FirstVisit(c.x)
+		if ok != c.ok {
+			t.Errorf("FirstVisit(%g) ok = %v, want %v", c.x, ok, c.ok)
+			continue
+		}
+		if ok && math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FirstVisit(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHalfZigZagFirstVisitLeftward(t *testing.T) {
+	h := MustHalfZigZag(geom.Point{X: 10, T: 1}, -1, 2)
+	if _, ok := h.FirstVisit(10.5); ok {
+		t.Fatalf("leftward half-zigzag visited a point right of its base")
+	}
+	got, ok := h.FirstVisit(8) // excursion 1 (reach 2), departs at 1+2=3
+	if !ok || math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FirstVisit(8) = %g, %v; want 5, true", got, ok)
+	}
+}
+
+func TestHalfZigZagVisitsUntil(t *testing.T) {
+	h := MustHalfZigZag(geom.Point{X: 0, T: 0}, 1, 2)
+	// x = 0.5: excursion k departs at 2(2^k - 1) with length 2^k, visits at
+	// depart+0.5 and depart+2*2^k-0.5.
+	got := h.VisitsUntil(0.5, 20)
+	want := []float64{0.5, 1.5, 2.5, 5.5, 6.5, 13.5, 14.5}
+	if len(got) != len(want) {
+		t.Fatalf("VisitsUntil(0.5, 20) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("VisitsUntil(0.5, 20)[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Tip contact yields a single visit per touching excursion.
+	tip := h.VisitsUntil(1, 5)
+	wantTip := []float64{1, 3, 5}
+	if len(tip) != len(wantTip) {
+		t.Fatalf("VisitsUntil(1, 5) = %v, want %v", tip, wantTip)
+	}
+	// Base visits: start of every excursion.
+	baseVisits := h.VisitsUntil(0, 10)
+	wantBase := []float64{0, 2, 6}
+	if len(baseVisits) != len(wantBase) {
+		t.Fatalf("VisitsUntil(0, 10) = %v, want %v", baseVisits, wantBase)
+	}
+	if h.VisitsUntil(-1, 100) != nil {
+		t.Fatalf("VisitsUntil behind the base must be empty")
+	}
+	// Visits must be strictly ascending.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("VisitsUntil not ascending at %d: %v", i, got)
+		}
+	}
+}
+
+func TestHalfZigZagPositionAt(t *testing.T) {
+	h := MustHalfZigZag(geom.Point{X: 0, T: 0}, 1, 2)
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 0},
+		{0.5, 0.5},
+		{1, 1},     // tip of excursion 0
+		{1.5, 0.5}, // returning
+		{2, 0},     // back at base
+		{3, 1},     // outbound excursion 1
+		{4, 2},     // tip of excursion 1
+		{5, 1},
+		{6, 0},
+		{10, 4}, // tip of excursion 2 (departs 6, length 4)
+		{14, 0}, // end of excursion 2
+		{21, 7}, // excursion 3 outbound (departs 14, length 8)
+	}
+	for _, c := range cases {
+		got, err := h.PositionAt(c.t)
+		if err != nil {
+			t.Fatalf("PositionAt(%g): %v", c.t, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("PositionAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if _, err := h.PositionAt(-0.5); err == nil {
+		t.Fatalf("PositionAt before the anchor must error")
+	}
+}
+
+// TestHalfZigZagPositionMatchesSegments cross-checks PositionAt against a
+// brute-force scan of SegmentsUntil on a dense time grid.
+func TestHalfZigZagPositionMatchesSegments(t *testing.T) {
+	h := MustHalfZigZag(geom.Point{X: 2, T: 0.5}, -0.75, 1.6)
+	tmax := 200.0
+	segs := h.SegmentsUntil(tmax)
+	if len(segs) == 0 {
+		t.Fatalf("SegmentsUntil returned no segments")
+	}
+	// Segments must be contiguous in time and position.
+	for i := 1; i < len(segs); i++ {
+		if math.Abs(segs[i].From.T-segs[i-1].To.T) > 1e-9 ||
+			math.Abs(segs[i].From.X-segs[i-1].To.X) > 1e-9 {
+			t.Fatalf("segments %d and %d not contiguous: %v -> %v", i-1, i, segs[i-1], segs[i])
+		}
+	}
+	for tt := 0.5; tt < 150; tt += 0.37 {
+		got, err := h.PositionAt(tt)
+		if err != nil {
+			t.Fatalf("PositionAt(%g): %v", tt, err)
+		}
+		var want float64
+		found := false
+		for _, s := range segs {
+			if tt >= s.From.T && tt <= s.To.T {
+				want, _ = s.PositionAt(tt)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no segment covers t=%g", tt)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("PositionAt(%g) = %g, segments say %g", tt, got, want)
+		}
+	}
+}
+
+// TestHalfZigZagInTrajectory exercises HalfZigZag behind the Trajectory
+// facade: a prefix walk out to the base followed by the one-sided tail.
+func TestHalfZigZagInTrajectory(t *testing.T) {
+	prefix := []geom.Segment{{From: geom.Point{X: 0, T: 0}, To: geom.Point{X: 3, T: 3}}}
+	tail := MustHalfZigZag(geom.Point{X: 3, T: 3}, 1, 2)
+	traj, err := New(prefix, tail)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// x=3.5 (offset 0.5) lies on excursion 0, which departs at 3: visit 3.5.
+	got, ok := traj.FirstVisit(3.5)
+	if !ok || math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("FirstVisit(3.5) = %g, %v; want 3.5, true", got, ok)
+	}
+	// x=4.5 (offset 1.5) needs excursion 1 (length 2, departs 3+2=5): 6.5.
+	got, ok = traj.FirstVisit(4.5)
+	if !ok || math.Abs(got-6.5) > 1e-12 {
+		t.Fatalf("FirstVisit(4.5) = %g, %v; want 6.5, true", got, ok)
+	}
+	// x=1 is only visited on the prefix (tail never goes below 3).
+	got, ok = traj.FirstVisit(1)
+	if !ok || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("FirstVisit(1) = %g, %v; want 1, true", got, ok)
+	}
+	if _, ok := traj.FirstVisit(2.999); !ok {
+		t.Fatalf("prefix visit of 2.999 lost")
+	}
+}

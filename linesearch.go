@@ -34,10 +34,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"linesearch/internal/adversary"
 	"linesearch/internal/analysis"
 	"linesearch/internal/compiled"
+	"linesearch/internal/engine"
 	"linesearch/internal/fault"
 	"linesearch/internal/sim"
 	"linesearch/internal/strategy"
@@ -76,8 +78,9 @@ func New(n, f int) (*Searcher, error) {
 // NewWithStrategy returns a searcher using a named strategy:
 // "proportional" (the paper's A(n, f)), "twogroup", "doubling",
 // "cone:<beta>" for a proportional schedule at an explicit cone slope,
-// or "byzantine[@<votes>][:<base>]" for the Byzantine voting-rule
-// family over a crash base.
+// "byzantine[@<votes>][:<base>]" for the Byzantine voting-rule family
+// over a crash base, or "pfaulty[:<p>[:<gamma>]]" for the half-line
+// expected-time family under per-visit miss probability p.
 func NewWithStrategy(name string, n, f int) (*Searcher, error) {
 	st, err := strategy.Parse(name)
 	if err != nil {
@@ -171,6 +174,160 @@ func (s *Searcher) KthVisitTime(x float64, k int) (float64, error) {
 		return 0, err
 	}
 	return s.kernel.KthDistinctVisit(x, k)
+}
+
+// SearchTimeWithSpeeds is SearchTime for a fleet with heterogeneous
+// speeds: robot i traverses its schedule at speeds[i] times unit speed,
+// so all its visit times scale by 1/speeds[i]. A single entry
+// broadcasts one speed to the whole fleet; nil means unit speeds,
+// where the result coincides with SearchTime. The detection rule is
+// unchanged — the result is the time the DetectionRank-th distinct
+// robot first stands on x, +Inf when fewer robots ever visit it.
+func (s *Searcher) SearchTimeWithSpeeds(x float64, speeds []float64) (float64, error) {
+	if err := s.checkTarget(x); err != nil {
+		return 0, err
+	}
+	sp, err := s.speedVector(speeds)
+	if err != nil {
+		return 0, err
+	}
+	// The k-th distinct visit is the k-th order statistic of the
+	// per-robot first-visit times; speed only rescales each robot's
+	// clock, so the statistic survives the scaling directly.
+	times := make([]float64, 0, s.n)
+	for i, tr := range s.plan.Trajectories() {
+		if t, ok := tr.FirstVisit(x); ok {
+			times = append(times, t/sp[i])
+		}
+	}
+	rank := s.plan.DetectionRank()
+	if len(times) < rank {
+		return math.Inf(1), nil
+	}
+	sort.Float64s(times)
+	return times[rank-1], nil
+}
+
+// ExpectedSearchTime returns the expected time to find a target at x
+// when detection is probabilistic: every surviving robot misses each
+// visit of x independently with probability p (0 <= p < 1), while the
+// adversary still crashes the worst-case f robots outright before any
+// coin is flipped. On a plan built from the pfaulty strategy family,
+// p = 0 selects the family's own miss probability; on any other plan
+// p = 0 degenerates to the deterministic worst case. speeds follows
+// SearchTimeWithSpeeds. +Inf means the expectation diverges — the
+// schedule's revisits grow too fast for the miss probability (see the
+// convergence condition in strategy.AsymptoticExpectedRatio).
+// Byzantine plans are rejected: the voting rule waits for multiple
+// confirmations, outside this expectation's single-confirmation model.
+func (s *Searcher) ExpectedSearchTime(x, p float64, speeds []float64) (float64, error) {
+	if err := s.checkTarget(x); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(p) || p < 0 || p >= 1 {
+		return 0, fmt.Errorf("linesearch: miss probability must lie in [0, 1), got %g", p)
+	}
+	sp, err := s.speedVector(speeds)
+	if err != nil {
+		return 0, err
+	}
+	m := s.plan.Model()
+	if m.VotesRequired() > 1 {
+		return 0, fmt.Errorf("linesearch: the expected-time objective requires the crash detection rule, not %s voting", m.Kind)
+	}
+	if p == 0 && m.Kind == fault.ModelPFaulty {
+		p = m.P
+	}
+	specs := make([]engine.RobotSpec, s.n)
+	for i, tr := range s.plan.Trajectories() {
+		specs[i] = engine.RobotSpec{Traj: tr, Speed: sp[i]}
+		if p > 0 {
+			specs[i].Kind, specs[i].P = fault.PFaulty, p
+		}
+	}
+	for _, i := range s.worstCrashSet(x, sp) {
+		specs[i].Kind, specs[i].P = fault.Crash, 0
+	}
+	return engine.ExpectedDetectionTime(specs, 1, x, engine.ExpectedOpts{})
+}
+
+// ExpectedCompetitiveRatio returns the asymptotic expected competitive
+// ratio lim sup_{|x| -> inf} E[T(x)]/|x| of a plan whose guarantee is
+// inherently stochastic (the pfaulty family, whose worst-case ratio is
+// unbounded by design). ok is false for deterministic plans, whose
+// figure of merit is CompetitiveRatio.
+func (s *Searcher) ExpectedCompetitiveRatio() (ratio float64, ok bool) {
+	if ps, isPF := s.st.(strategy.PFaultySearch); isPF {
+		return ps.ExpectedCR(s.n, s.f), true
+	}
+	return 0, false
+}
+
+// worstCrashSet returns the robots the adversary crashes against a
+// target at x: the f earliest distinct visitors under the given speed
+// vector. At uniform speeds the scaling cannot reorder arrivals, so
+// the plan's precomputed assignment answers directly.
+func (s *Searcher) worstCrashSet(x float64, sp []float64) []int {
+	uniform := true
+	for _, v := range sp {
+		if v != sp[0] {
+			uniform = false
+			break
+		}
+	}
+	out := make([]int, 0, s.f)
+	if uniform {
+		for i, k := range s.plan.WorstFaultAssignment(x) {
+			if k.Faulty() {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	type arrival struct {
+		t float64
+		i int
+	}
+	arr := make([]arrival, s.n)
+	for i, tr := range s.plan.Trajectories() {
+		t, ok := tr.FirstVisit(x)
+		if !ok {
+			t = math.Inf(1)
+		}
+		arr[i] = arrival{t: t / sp[i], i: i}
+	}
+	sort.Slice(arr, func(a, b int) bool { return arr[a].t < arr[b].t })
+	for _, a := range arr[:s.f] {
+		out = append(out, a.i)
+	}
+	return out
+}
+
+// speedVector expands a speed parameter into one entry per robot: nil
+// means unit speeds, a single entry broadcasts, a full vector is used
+// as-is. Every entry must be positive and finite.
+func (s *Searcher) speedVector(speeds []float64) ([]float64, error) {
+	for i, v := range speeds {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("linesearch: speed %d must be positive and finite, got %g", i, v)
+		}
+	}
+	out := make([]float64, s.n)
+	switch len(speeds) {
+	case 0:
+		for i := range out {
+			out[i] = 1
+		}
+	case 1:
+		for i := range out {
+			out[i] = speeds[0]
+		}
+	case s.n:
+		copy(out, speeds)
+	default:
+		return nil, fmt.Errorf("linesearch: speed vector has %d entries for %d robots (one entry broadcasts)", len(speeds), s.n)
+	}
+	return out, nil
 }
 
 // checkTarget rejects target positions outside the plan's domain: the

@@ -149,6 +149,9 @@ func applyMinDistance(st strategy.Strategy, d float64) strategy.Strategy {
 	case strategy.Byzantine:
 		s.MinDistance = d
 		return s
+	case strategy.PFaultySearch:
+		s.MinDistance = d
+		return s
 	default:
 		return st
 	}

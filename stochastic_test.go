@@ -1,0 +1,181 @@
+package linesearch
+
+import (
+	"math"
+	"testing"
+
+	"linesearch/internal/strategy"
+)
+
+// TestSearchTimeWithSpeedsUnitMatches: at unit speeds (nil, explicit
+// ones, or a broadcast 1) the order-statistic path must reproduce the
+// compiled kernel's SearchTime exactly.
+func TestSearchTimeWithSpeedsUnitMatches(t *testing.T) {
+	s, err := NewWithStrategy("proportional", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, -2.5, 7, 31.4, -100} {
+		want, err := s.SearchTime(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, speeds := range [][]float64{nil, {1}, {1, 1, 1}} {
+			got, err := s.SearchTimeWithSpeeds(x, speeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("x=%g speeds=%v: %g, want SearchTime %g", x, speeds, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchTimeWithSpeedsScaling: a uniform speed v divides every
+// detection time by v, and making one robot faster never hurts.
+func TestSearchTimeWithSpeedsScaling(t *testing.T) {
+	s, err := NewWithStrategy("doubling", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const x = 13.0
+	unit, err := s.SearchTime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.SearchTimeWithSpeeds(x, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-unit/2) > 1e-12*unit {
+		t.Errorf("broadcast speed 2: %g, want %g", fast, unit/2)
+	}
+	mixed, err := s.SearchTimeWithSpeeds(x, []float64{1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed > unit+1e-12*unit {
+		t.Errorf("speeding one robot up worsened detection: %g > %g", mixed, unit)
+	}
+}
+
+func TestSearchTimeWithSpeedsValidation(t *testing.T) {
+	s, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, speeds := range [][]float64{
+		{0}, {-1}, {math.NaN()}, {math.Inf(1)}, {1, 2}, {1, 2, 3, 4},
+	} {
+		if _, err := s.SearchTimeWithSpeeds(4, speeds); err == nil {
+			t.Errorf("speeds %v accepted", speeds)
+		}
+	}
+}
+
+// TestExpectedSearchTime: p = 0 on a deterministic plan degenerates to
+// the worst case, coins only delay, and a divergent coin reports +Inf.
+func TestExpectedSearchTime(t *testing.T) {
+	s, err := NewWithStrategy("doubling", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const x = 8.0
+	worst, err := s.SearchTime(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := s.ExpectedSearchTime(x, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(det-worst) > 1e-9*worst {
+		t.Errorf("p=0 expected time %g, want worst case %g", det, worst)
+	}
+	coin, err := s.ExpectedSearchTime(x, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coin <= worst {
+		t.Errorf("p=0.5 expected time %g not above worst case %g", coin, worst)
+	}
+	// A uniform speed divides the expectation like every other time.
+	fast, err := s.ExpectedSearchTime(x, 0.5, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-coin/2) > 1e-9*coin {
+		t.Errorf("speed-2 expected time %g, want %g", fast, coin/2)
+	}
+	for _, p := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := s.ExpectedSearchTime(x, p, nil); err == nil {
+			t.Errorf("miss probability %g accepted", p)
+		}
+	}
+}
+
+// TestExpectedSearchTimeDiverges: one surviving robot on the doubling
+// walk with p = 0.75 has excursion decay R = p^2*2 > 1.
+func TestExpectedSearchTimeDiverges(t *testing.T) {
+	s, err := NewWithStrategy("doubling", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := s.ExpectedSearchTime(4, 0.75, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(et, 1) {
+		t.Errorf("divergent expectation reported %g, want +Inf", et)
+	}
+}
+
+// TestExpectedSearchTimeByzantineRejected: the voting rule waits for
+// multiple confirmations, outside the expectation's model.
+func TestExpectedSearchTimeByzantineRejected(t *testing.T) {
+	s, err := NewWithStrategy("byzantine", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExpectedSearchTime(4, 0.5, nil); err == nil {
+		t.Error("byzantine plan accepted an expected-time query")
+	}
+}
+
+// TestPFaultySearcher exercises the half-line family end to end
+// through the public API: the plan builds, exposes its model, uses its
+// own miss probability at p = 0, and reports the asymptotic expected
+// ratio as its figure of merit.
+func TestPFaultySearcher(t *testing.T) {
+	s, err := NewWithStrategy("pfaulty:0.5:2", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FaultModel(); got != "pfaulty" {
+		t.Errorf("fault model %q, want pfaulty", got)
+	}
+	if got := s.DetectionRank(); got != 2 {
+		t.Errorf("detection rank %d, want f+1 = 2", got)
+	}
+	et, err := s.ExpectedSearchTime(9, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(et, 1) || et <= 9 {
+		t.Errorf("expected time %g for x=9: want finite and above the distance", et)
+	}
+	// The left half-line is never covered: deterministic detection
+	// fails there, and the worst-case ratio is unbounded.
+	if wt, err := s.SearchTime(-9); err != nil || !math.IsInf(wt, 1) {
+		t.Errorf("left-side search time %g, %v; want +Inf", wt, err)
+	}
+	ratio, ok := s.ExpectedCompetitiveRatio()
+	pEff := 0.5 * 0.5 // two survivors on the shared trajectory
+	if want := strategy.AsymptoticExpectedRatio(2, pEff); !ok || math.Abs(ratio-want) > 1e-12*want {
+		t.Errorf("expected CR %g (ok=%v), want %g", ratio, ok, want)
+	}
+	if _, ok := mustSearcher(t, 3, 1).ExpectedCompetitiveRatio(); ok {
+		t.Error("deterministic plan claims an expected competitive ratio")
+	}
+}
