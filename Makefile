@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos cluster-smoke fuzz repro data serve sweep clean
 
 all: build test
 
@@ -80,6 +80,14 @@ lint:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|KillAndResume|FaultInjection|FaultPoint' \
 		./internal/sweep ./internal/faultpoint -chaos.soak=45s
+
+# Sharded-fleet smoke under the race detector: the consistent-hash
+# ring properties, the router integration suite (failover, warm
+# transfer, chaos kill/restart), and the loadgen-driven p99 gate
+# against the checked-in budget (cmd/loadgen/testdata/p99_budget.json).
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster ./cmd/linerouter
+	$(GO) test -race -count=1 -run 'TestClusterSmoke' ./cmd/loadgen
 
 # One benchmark per paper table/figure plus micro benchmarks.
 bench-paper:

@@ -1,0 +1,153 @@
+// Command linerouter fronts a fleet of linesearchd backends with a
+// consistent-hash router: every /v1/* request is placed on the ring by
+// its plan key, proxied with health-aware retry that honors the
+// backends' 429/503 + Retry-After admission contract, and topology
+// changes warm-transfer hot plan-cache entries so a reshaped fleet
+// serves its keys without recompiling them.
+//
+// Usage:
+//
+//	linerouter -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	           [-addr :8090] [-attempts 3] [-vnodes 160] \
+//	           [-health-interval 2s] [-quarantine-votes 3] \
+//	           [-slow-threshold 0] [-warm-keys 64] [-log text|json] [-quiet]
+//
+// Endpoints:
+//
+//	/v1/*                proxied to the owning backend (ring failover on retryable errors)
+//	GET /healthz         200 while at least one backend is routable
+//	GET /metrics         router + per-backend stats; Prometheus text under Accept: text/plain
+//	PUT /admin/topology  {"backends": [...]} — replace the fleet and warm-transfer hot keys
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"linesearch/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linerouter:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownGrace is how long in-flight proxied requests get to drain
+// after a shutdown signal.
+const shutdownGrace = 10 * time.Second
+
+// run parses flags, binds the listener, and proxies until ctx is
+// cancelled. Like linesearchd it prints one "listening on <addr>" line
+// so callers using ":0" can discover the port.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linerouter", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address (host:port; port 0 picks an ephemeral port)")
+	backends := fs.String("backends", "", "comma-separated linesearchd base URLs (required)")
+	attempts := fs.Int("attempts", 3, "attempts per retryable request, first included")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the hash ring")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "backend health probe cadence (negative disables)")
+	quarantineVotes := fs.Int("quarantine-votes", 3, "consecutive failed health votes that quarantine a backend")
+	slowThreshold := fs.Duration("slow-threshold", 0, "mean proxied latency per probe window that draws a failed vote (0 disables)")
+	warmKeys := fs.Int("warm-keys", 64, "hot plan-cache entries transferred per donor on topology change (negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "circuit-breaker open duration after consecutive failures")
+	logFormat := fs.String("log", "text", "log format: text or json")
+	quiet := fs.Bool("quiet", false, "suppress info logs (errors still logged)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return errors.New("-backends is required (comma-separated linesearchd URLs)")
+	}
+
+	var handler slog.Handler
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelError
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	router, err := cluster.New(cluster.Config{
+		Backends:        splitBackends(*backends),
+		VNodes:          *vnodes,
+		Attempts:        *attempts,
+		HealthInterval:  *healthInterval,
+		QuarantineVotes: *quarantineVotes,
+		SlowThreshold:   *slowThreshold,
+		WarmKeys:        *warmKeys,
+		BreakerCooldown: *breakerCooldown,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "linerouter: listening on %s\n", ln.Addr())
+	logger.Info("routing", "addr", ln.Addr().String(), "backends", router.Backends())
+
+	srv := &http.Server{
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "grace", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "linerouter: shut down cleanly")
+	return nil
+}
+
+// splitBackends parses the -backends flag, tolerating spaces and a
+// trailing comma.
+func splitBackends(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

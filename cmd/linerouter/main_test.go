@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"linesearch/internal/service"
+)
+
+// lineWatcher signals once the "listening on" line arrives, so the
+// test can discover the ephemeral port.
+type lineWatcher struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	ready chan struct{}
+	once  sync.Once
+}
+
+func newLineWatcher() *lineWatcher { return &lineWatcher{ready: make(chan struct{})} }
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if strings.Contains(w.buf.String(), "listening on ") {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return len(p), nil
+}
+
+func (w *lineWatcher) addr(t *testing.T) string {
+	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, line := range strings.Split(w.buf.String(), "\n") {
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("listening on "):])
+		}
+	}
+	t.Fatal("no listening line in output:\n" + w.buf.String())
+	return ""
+}
+
+func TestSplitBackends(t *testing.T) {
+	got := splitBackends(" http://a:1, http://b:2 ,,http://c:3,")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitBackends = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitBackends[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunRequiresBackends(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("run without -backends: %v", err)
+	}
+}
+
+// TestRouterEndToEnd binds the router on an ephemeral port over two
+// real backends, proxies a plan query, reads the router's health and
+// metrics surfaces, and shuts down cleanly on context cancel.
+func TestRouterEndToEnd(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var urls []string
+	for i := 0; i < 2; i++ {
+		svc := service.New(service.Config{Logger: quiet})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() { srv.Close(); svc.Close() })
+		urls = append(urls, srv.URL)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := newLineWatcher()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", strings.Join(urls, ","),
+			"-health-interval", "-1s",
+			"-quiet",
+		}, out)
+	}()
+	select {
+	case <-out.ready:
+	case err := <-done:
+		t.Fatalf("router exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never reported its address")
+	}
+	base := "http://" + out.addr(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(base + "/v1/plan?n=3&f=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || plan["competitive_ratio"] == nil {
+		t.Fatalf("proxied plan: status %d, body %v", resp.StatusCode, plan)
+	}
+
+	resp, err = client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "linerouter_proxied_requests_total") {
+		t.Fatalf("prometheus exposition missing router families:\n%.400s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+}

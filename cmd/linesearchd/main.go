@@ -8,6 +8,7 @@
 //	linesearchd [-addr :8080] [-cache 128] [-workers 0] [-max-batch 1024]
 //	            [-timeout 15s] [-log text|json] [-quiet]
 //	            [-sweep-dir data/sweeps] [-sweep-workers 0] [-sweep-jobs 2]
+//	            [-snapshot-dir data/snapshots]
 //	            [-trace-sample 0.1] [-trace-buffer 256] [-debug-addr ""]
 //
 // Endpoints (see internal/service):
@@ -19,6 +20,8 @@
 //	POST /v1/batch                 {"queries": [{"op": "plan", "n": 3, "f": 1}, ...]}
 //	POST /v1/sweeps                submit a background parameter sweep (checkpointed, resumable)
 //	GET  /v1/sweeps                list sweep jobs; /v1/sweeps/{id} for status, .../result for data
+//	GET  /v1/cache/snapshot        export hot plan-cache entries (the router's warm transfer)
+//	PUT  /v1/cache/snapshot        import a snapshot, prewarming the plan cache
 //	GET  /healthz
 //	GET  /metrics                  JSON by default; Prometheus text under Accept: text/plain
 //	GET  /debug/traces             recent/slowest sampled request traces
@@ -83,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	sweepDir := fs.String("sweep-dir", filepath.Join("data", "sweeps"), "directory for sweep checkpoints and result datasets")
 	sweepWorkers := fs.Int("sweep-workers", 0, "cell workers per running sweep job (0 = GOMAXPROCS)")
 	sweepJobs := fs.Int("sweep-jobs", 2, "sweep jobs running concurrently (excess submissions queue)")
+	snapshotDir := fs.String("snapshot-dir", filepath.Join("data", "snapshots"), "directory where rejected cache-snapshot imports are quarantined (empty disables)")
 	traceSample := fs.Float64("trace-sample", 0.1, "fraction of requests traced into /debug/traces (1 = all, 0 = default, negative disables)")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
 	debugAddr := fs.String("debug-addr", "", "optional pprof/debug listen address (empty disables; keep it loopback-only, e.g. 127.0.0.1:6060)")
@@ -136,6 +140,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Logger:         logger,
 		Tracer:         tracer,
 		Sweeps:         sweeps,
+		SnapshotDir:    *snapshotDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,323 @@
+// Command loadgen drives a linesearchd service or a linerouter fleet
+// with a configurable query mix and reports latency percentiles from
+// both sides: the client's own samples and the server's Prometheus
+// histogram read back from /metrics. Key skew is zipfian — a few hot
+// plan keys and a long tail — which is exactly the workload a plan
+// cache and a warm transfer exist for.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:8090 [-duration 10s]
+//	        [-qps 0] [-concurrency 8]           closed loop: workers back to back
+//	        [-qps 200]                          open loop: fixed arrival rate
+//	        [-keys 500] [-zipf-s 1.2] [-seed 1]
+//	        [-p99-budget testdata/p99_budget.json]
+//
+// With -p99-budget, the run is a gate: it exits non-zero when the
+// observed client p99 or error rate exceeds the checked-in budget.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// config is one load run, parsed from flags (tests fill it directly).
+type config struct {
+	target      string
+	duration    time.Duration
+	qps         float64 // > 0 selects the open loop
+	concurrency int
+	keys        int     // plan-key universe size
+	zipfS       float64 // zipf exponent; larger = hotter head
+	seed        int64
+	budgetPath  string
+	client      *http.Client
+}
+
+// report is the run summary printed as JSON.
+type report struct {
+	Mode       string  `json:"mode"` // "closed" or "open"
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	ErrorRate  float64 `json:"error_rate"`
+	Duration   float64 `json:"duration_seconds"`
+	QPS        float64 `json:"achieved_qps"`
+	P50Millis  float64 `json:"client_p50_ms"`
+	P90Millis  float64 `json:"client_p90_ms"`
+	P99Millis  float64 `json:"client_p99_ms"`
+	ServerP50  float64 `json:"server_p50_ms,omitempty"`
+	ServerP99  float64 `json:"server_p99_ms,omitempty"`
+	ServerNote string  `json:"server_note,omitempty"`
+}
+
+// budget is the checked-in gate for smoke runs: the worst acceptable
+// client p99 and error rate at the smoke test's fixed low QPS.
+type budget struct {
+	P99Millis    float64 `json:"p99_ms"`
+	MaxErrorRate float64 `json:"max_error_rate"`
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.target, "target", "", "base URL of the linesearchd or linerouter to drive (required)")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to generate load")
+	fs.Float64Var(&cfg.qps, "qps", 0, "open-loop arrival rate (0 = closed loop at -concurrency)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count (also caps open-loop in-flight)")
+	fs.IntVar(&cfg.keys, "keys", 500, "distinct plan keys in the zipfian universe")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "zipf exponent (>1; larger skews hotter)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed: same seed, same key sequence")
+	fs.StringVar(&cfg.budgetPath, "p99-budget", "", "JSON budget file; exceeding it fails the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	rep, err := execute(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if cfg.budgetPath != "" {
+		return gate(rep, cfg.budgetPath, out)
+	}
+	return nil
+}
+
+// gate compares the run against the checked-in budget.
+func gate(rep report, path string, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read budget: %w", err)
+	}
+	var b budget
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return fmt.Errorf("decode budget %s: %w", path, err)
+	}
+	if b.P99Millis > 0 && rep.P99Millis > b.P99Millis {
+		return fmt.Errorf("p99 %.2fms exceeds budget %.2fms", rep.P99Millis, b.P99Millis)
+	}
+	if rep.ErrorRate > b.MaxErrorRate {
+		return fmt.Errorf("error rate %.4f exceeds budget %.4f", rep.ErrorRate, b.MaxErrorRate)
+	}
+	fmt.Fprintf(out, "loadgen: within budget (p99 %.2fms <= %.2fms, errors %.4f <= %.4f)\n",
+		rep.P99Millis, b.P99Millis, rep.ErrorRate, b.MaxErrorRate)
+	return nil
+}
+
+// keyPicker maps zipf ranks onto plan-key query strings. Rank 0 is the
+// hottest key; the (n, f) pairs walk the valid f < n lattice so every
+// generated query is well-formed.
+type keyPicker struct {
+	zipf *rand.Zipf
+	keys []string
+}
+
+func newKeyPicker(seed int64, universe int, s float64) *keyPicker {
+	if universe < 1 {
+		universe = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	keys := make([]string, 0, universe)
+	// Enumerate (n, f) pairs in increasing plan size: n=2 f=1, n=3 f=1,
+	// n=3 f=2, ... Small plans are cheap and early (hot ranks), large
+	// plans expensive and rare — the shape a real client mix has.
+	for n := 2; len(keys) < universe; n++ {
+		for f := 1; f < n && len(keys) < universe; f++ {
+			keys = append(keys, fmt.Sprintf("n=%d&f=%d", n, f))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &keyPicker{
+		zipf: rand.NewZipf(rng, s, 1, uint64(universe-1)),
+		keys: keys,
+	}
+}
+
+// next returns the query string for one zipf-drawn key. Not safe for
+// concurrent use; each worker owns a picker.
+func (p *keyPicker) next() string { return p.keys[p.zipf.Uint64()] }
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	failed  bool
+}
+
+// execute runs the load and assembles the report.
+func execute(ctx context.Context, cfg config) (report, error) {
+	if cfg.client == nil {
+		cfg.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	var mu sync.Mutex
+	var samples []sample
+	var sent atomic.Int64
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	fire := func(query string) {
+		url := cfg.target + "/v1/plan?" + query
+		start := time.Now()
+		ok := false
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err == nil {
+			resp, derr := cfg.client.Do(req)
+			if derr == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+		}
+		if ctx.Err() != nil && !ok {
+			return // shutdown race, not a server failure
+		}
+		record(sample{latency: time.Since(start), failed: !ok})
+	}
+
+	start := time.Now()
+	mode := "closed"
+	if cfg.qps > 0 {
+		mode = "open"
+		runOpenLoop(ctx, cfg, fire, &sent)
+	} else {
+		runClosedLoop(ctx, cfg, fire, &sent)
+	}
+	elapsed := time.Since(start)
+
+	rep := report{Mode: mode, Duration: elapsed.Seconds()}
+	lat := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		rep.Requests++
+		if s.failed {
+			rep.Errors++
+		} else {
+			lat = append(lat, float64(s.latency)/float64(time.Millisecond))
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Float64s(lat)
+	rep.P50Millis = percentile(lat, 0.50)
+	rep.P90Millis = percentile(lat, 0.90)
+	rep.P99Millis = percentile(lat, 0.99)
+
+	// Server-side read-back: the target's own latency histogram, scraped
+	// from its Prometheus exposition. Only best-effort — a target
+	// without /metrics just leaves the fields empty. The load context
+	// has expired by now (that is what ended the run), so the scrape
+	// gets its own short deadline.
+	scrapeCtx, scrapeCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scrapeCancel()
+	if p50, p99, err := serverPercentiles(scrapeCtx, cfg.client, cfg.target); err != nil {
+		rep.ServerNote = "metrics read-back failed: " + err.Error()
+	} else {
+		rep.ServerP50 = p50 * 1000
+		rep.ServerP99 = p99 * 1000
+	}
+	return rep, nil
+}
+
+// runClosedLoop keeps cfg.concurrency workers issuing back to back —
+// offered load adapts to service speed, the classic saturation probe.
+func runClosedLoop(ctx context.Context, cfg config, fire func(string), sent *atomic.Int64) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		picker := newKeyPicker(cfg.seed+int64(w), cfg.keys, cfg.zipfS)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				sent.Add(1)
+				fire(picker.next())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpenLoop fires at a fixed arrival rate regardless of completion —
+// queueing delay shows up in the percentiles instead of hiding in a
+// reduced request count. In-flight work is capped at 4x concurrency so
+// a stalled target cannot leak unbounded goroutines; arrivals past the
+// cap are dropped (and would read as missing QPS in the report).
+func runOpenLoop(ctx context.Context, cfg config, fire func(string), sent *atomic.Int64) {
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	slots := make(chan struct{}, cfg.concurrency*4)
+	var wg sync.WaitGroup
+	picker := newKeyPicker(cfg.seed, cfg.keys, cfg.zipfS)
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-ticker.C:
+			select {
+			case slots <- struct{}{}:
+			default:
+				continue // in-flight cap reached; drop the arrival
+			}
+			sent.Add(1)
+			query := picker.next() // drawn on the arrival goroutine: one zipf stream, no lock
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				fire(query)
+			}()
+		}
+	}
+}
+
+// percentile returns the q-th percentile of sorted values (linear
+// index, no interpolation — stable and simple for gate comparisons).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"linesearch/internal/cluster"
+	"linesearch/internal/service"
+)
+
+func TestKeyPickerDeterministicAndWellFormed(t *testing.T) {
+	a := newKeyPicker(7, 500, 1.2)
+	b := newKeyPicker(7, 500, 1.2)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		qa, qb := a.next(), b.next()
+		if qa != qb {
+			t.Fatalf("draw %d: same seed diverged: %q vs %q", i, qa, qb)
+		}
+		seen[qa] = true
+		v, err := url.ParseQuery(qa)
+		if err != nil {
+			t.Fatalf("malformed query %q: %v", qa, err)
+		}
+		n, _ := strconv.Atoi(v.Get("n"))
+		f, _ := strconv.Atoi(v.Get("f"))
+		if n < 2 || f < 1 || f >= n {
+			t.Fatalf("invalid plan key %q: f must be in [1, n)", qa)
+		}
+	}
+	// Zipf skew: a handful of hot keys dominate, but the tail is drawn.
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct keys in 2000 draws; universe not sampled", len(seen))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 0.50); p != 5 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := percentile(vals, 0.99); p != 9 {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.99); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+func TestParseBucketsAndHistPercentile(t *testing.T) {
+	exposition := `# HELP linesearchd_http_request_duration_seconds Request latency, by endpoint.
+# TYPE linesearchd_http_request_duration_seconds histogram
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="0.005"} 50
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="0.01"} 90
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="+Inf"} 100
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/searchtime",le="0.005"} 100
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/searchtime",le="0.01"} 100
+linesearchd_http_request_duration_seconds_bucket{endpoint="/v1/searchtime",le="+Inf"} 100
+linesearchd_http_request_duration_seconds_sum{endpoint="/v1/plan"} 0.9
+linesearchd_http_request_duration_seconds_count{endpoint="/v1/plan"} 100
+`
+	buckets, err := parseBuckets(strings.NewReader(exposition), histogramFamilies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %v, want 3 aggregated bounds", buckets)
+	}
+	// Aggregated across the two endpoints: 150 at 5ms, 190 at 10ms, 200 total.
+	if buckets[0].count != 150 || buckets[1].count != 190 || buckets[2].count != 200 {
+		t.Fatalf("aggregation wrong: %+v", buckets)
+	}
+	p50 := histPercentile(buckets, 0.50)
+	if p50 <= 0 || p50 > 0.005 {
+		t.Errorf("p50 = %v, want within the first bucket", p50)
+	}
+	// p99 rank is 198 of 200: lands in the +Inf bucket, clamped to the
+	// last finite bound.
+	if p99 := histPercentile(buckets, 0.99); p99 != 0.01 {
+		t.Errorf("p99 = %v, want clamp to 0.01", p99)
+	}
+	if !math.IsInf(buckets[2].le, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", buckets[2].le)
+	}
+}
+
+func TestGate(t *testing.T) {
+	dir := t.TempDir() + "/budget.json"
+	if err := os.WriteFile(dir, []byte(`{"p99_ms": 100, "max_error_rate": 0.01}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := gate(report{P99Millis: 50, ErrorRate: 0}, dir, &out); err != nil {
+		t.Fatalf("within-budget run failed the gate: %v", err)
+	}
+	if err := gate(report{P99Millis: 150}, dir, &out); err == nil {
+		t.Fatal("p99 over budget passed the gate")
+	}
+	if err := gate(report{P99Millis: 50, ErrorRate: 0.5}, dir, &out); err == nil {
+		t.Fatal("error rate over budget passed the gate")
+	}
+}
+
+// TestClusterSmoke is the CI smoke gate: a 2-backend fleet behind the
+// router, fixed low-QPS open-loop load, client p99 checked against the
+// checked-in budget, server-side percentiles read back from the
+// router's Prometheus exposition. Run under -race via `make
+// cluster-smoke`.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke run skipped in -short mode")
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var urls []string
+	for i := 0; i < 2; i++ {
+		svc := service.New(service.Config{Logger: quiet})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() { srv.Close(); svc.Close() })
+		urls = append(urls, srv.URL)
+	}
+	router, err := cluster.New(cluster.Config{
+		Backends:       urls,
+		HealthInterval: -1,
+		Logger:         quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+
+	rep, err := execute(context.Background(), config{
+		target:      front.URL,
+		duration:    2 * time.Second,
+		qps:         50, // fixed low rate: this gates regressions, not capacity
+		concurrency: 8,
+		keys:        100,
+		zipfS:       1.2,
+		seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 50 {
+		t.Fatalf("only %d requests in the smoke window; load loop broken", rep.Requests)
+	}
+	if err := gate(rep, "testdata/p99_budget.json", io.Discard); err != nil {
+		t.Fatalf("smoke run exceeded the checked-in budget: %v (report: %+v)", err, rep)
+	}
+	// The read-back must have found the router's per-backend histogram.
+	if rep.ServerNote != "" {
+		t.Fatalf("server-side read-back failed: %s", rep.ServerNote)
+	}
+	if rep.ServerP99 <= 0 {
+		t.Fatalf("server p99 = %v, want a positive read-back", rep.ServerP99)
+	}
+}
+
+// TestRunFlagsAndReport drives the full flag path against one backend.
+func TestRunFlagsAndReport(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	svc := service.New(service.Config{Logger: quiet})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", srv.URL,
+		"-duration", "300ms",
+		"-concurrency", "2",
+		"-keys", "20",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	dec := json.NewDecoder(&out)
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "closed" || rep.Requests == 0 || rep.ErrorRate != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.ServerP99 <= 0 {
+		t.Fatalf("server read-back missing from report: %+v", rep)
+	}
+}
+
+func TestRunRequiresTarget(t *testing.T) {
+	if err := run(context.Background(), nil, io.Discard); err == nil {
+		t.Fatal("run without -target succeeded")
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker. Closed it admits
+// everything; consecutive failures at or beyond the threshold open it
+// for a cooldown, during which the backend is skipped in failover
+// order. A backend that answers 429/503 with Retry-After opens the
+// breaker for exactly that long — the router honors the admission
+// contract by cooling the shard down instead of hammering it, while
+// failing over to the next owner immediately. After the cooldown the
+// breaker is half-open: requests flow again, a success closes it, and
+// the first failure re-opens it for a full cooldown (the consecutive
+// count is already at the threshold).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	failures  int       // consecutive
+	openUntil time.Time // zero when closed
+}
+
+// newBreaker returns a closed breaker (threshold < 1 and cooldown <= 0
+// get defaults).
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent now.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !now.Before(b.openUntil)
+}
+
+// success records a request the backend answered healthily and closes
+// the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records a failed request. retryAfter > 0 (a parsed
+// Retry-After header) opens the breaker for exactly that long — the
+// backend told us when to come back; otherwise consecutive failures
+// reaching the threshold open it for the cooldown.
+func (b *breaker) failure(now time.Time, retryAfter time.Duration) {
+	b.mu.Lock()
+	b.failures++
+	switch {
+	case retryAfter > 0:
+		b.openUntil = now.Add(retryAfter)
+	case b.failures >= b.threshold:
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// open reports whether the breaker currently rejects requests.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && now.Before(b.openUntil)
+}

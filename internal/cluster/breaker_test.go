@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(3, 2*time.Second)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		b.failure(now, 0)
+		if !b.allow(now) {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.failure(now, 0)
+	if b.allow(now) {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if b.allow(now.Add(time.Second)) {
+		t.Fatal("breaker admitted mid-cooldown")
+	}
+	if !b.allow(now.Add(2 * time.Second)) {
+		t.Fatal("breaker still open after the cooldown elapsed")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	now := time.Unix(1000, 0)
+	b.failure(now, 0)
+	b.failure(now, 0)
+	b.success()
+	b.failure(now, 0)
+	b.failure(now, 0)
+	if !b.allow(now) {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+// TestBreakerRetryAfter pins the admission-contract handling: a parsed
+// Retry-After opens the breaker for exactly that long, on the first
+// failure, regardless of the threshold.
+func TestBreakerRetryAfter(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	now := time.Unix(1000, 0)
+	b.failure(now, 5*time.Second)
+	if b.allow(now.Add(4 * time.Second)) {
+		t.Fatal("breaker ignored Retry-After")
+	}
+	if !b.allow(now.Add(5 * time.Second)) {
+		t.Fatal("breaker open past the Retry-After window")
+	}
+}
+
+// TestBreakerHalfOpenReopens pins the half-open contract: after the
+// cooldown requests flow again, and the first failure re-opens for a
+// full cooldown while a success closes fully.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	b := newBreaker(2, time.Second)
+	now := time.Unix(1000, 0)
+	b.failure(now, 0)
+	b.failure(now, 0)
+	if b.allow(now) {
+		t.Fatal("breaker should be open")
+	}
+	halfOpen := now.Add(time.Second)
+	if !b.allow(halfOpen) {
+		t.Fatal("breaker should admit after cooldown")
+	}
+	b.failure(halfOpen, 0) // half-open probe failed
+	if b.allow(halfOpen.Add(500 * time.Millisecond)) {
+		t.Fatal("failed half-open probe should re-open for a full cooldown")
+	}
+	if !b.allow(halfOpen.Add(time.Second)) {
+		t.Fatal("re-opened breaker should admit after its cooldown")
+	}
+	b.success()
+	if !b.allow(now) || b.open(now) {
+		t.Fatal("success should close the breaker entirely")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		max  time.Duration
+		want time.Duration
+	}{
+		{"", 5 * time.Second, 0},
+		{"2", 5 * time.Second, 2 * time.Second},
+		{" 3 ", 5 * time.Second, 3 * time.Second},
+		{"120", 5 * time.Second, 5 * time.Second}, // capped
+		{"-1", 5 * time.Second, 0},
+		{"soon", 5 * time.Second, 0}, // HTTP-date form unsupported, ignored
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, tc.max); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

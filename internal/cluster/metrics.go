@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"linesearch/internal/telemetry"
+)
+
+// BackendStats is one backend's view in the router's metrics snapshot.
+type BackendStats struct {
+	Name        string                      `json:"name"`
+	Available   bool                        `json:"available"`
+	Quarantined bool                        `json:"quarantined"`
+	BreakerOpen bool                        `json:"breaker_open"`
+	Requests    int64                       `json:"requests"`
+	Failures    int64                       `json:"failures"`
+	ProbeFails  int64                       `json:"probe_fails"`
+	Quarantines int64                       `json:"quarantines"`
+	Latency     telemetry.HistogramSnapshot `json:"latency"`
+}
+
+// Stats is the router's metrics snapshot, served by GET /metrics.
+type Stats struct {
+	Backends    []BackendStats `json:"backends"`
+	Proxied     int64          `json:"proxied"`
+	Retries     int64          `json:"retries"`
+	ProxyErrors int64          `json:"proxy_errors"`
+	WarmRuns    int64          `json:"warm_transfer_runs"`
+	WarmKeys    int64          `json:"warm_transfer_keys"`
+	WarmErrors  int64          `json:"warm_transfer_errors"`
+}
+
+// Stats snapshots the router.
+func (r *Router) Stats() Stats {
+	r.mu.RLock()
+	backends := make([]*backend, 0, len(r.backends))
+	for _, b := range r.backends {
+		backends = append(backends, b)
+	}
+	r.mu.RUnlock()
+	sort.Slice(backends, func(i, j int) bool { return backends[i].name < backends[j].name })
+	now := time.Now()
+	st := Stats{
+		Backends:    make([]BackendStats, 0, len(backends)),
+		Proxied:     r.proxied.Load(),
+		Retries:     r.retries.Load(),
+		ProxyErrors: r.proxyErrs.Load(),
+		WarmRuns:    r.warmRuns.Load(),
+		WarmKeys:    r.warmKeys.Load(),
+		WarmErrors:  r.warmErrors.Load(),
+	}
+	for _, b := range backends {
+		st.Backends = append(st.Backends, BackendStats{
+			Name:        b.name,
+			Available:   b.available(now),
+			Quarantined: b.down.Load(),
+			BreakerOpen: b.breaker.open(now),
+			Requests:    b.requests.Load(),
+			Failures:    b.failures.Load(),
+			ProbeFails:  b.probeFails.Load(),
+			Quarantines: b.quarantines.Load(),
+			Latency:     b.hist.Snapshot(),
+		})
+	}
+	return st
+}
+
+// handleHealthz reports router liveness plus the fleet's availability:
+// 200 while at least one backend is available, 503 when none is — a
+// load balancer in front of several routers needs that distinction.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	st := r.Stats()
+	avail := 0
+	for _, b := range st.Backends {
+		if b.Available {
+			avail++
+		}
+	}
+	status := http.StatusOK
+	if avail == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":             http.StatusText(status),
+		"backends":           len(st.Backends),
+		"backends_available": avail,
+	})
+}
+
+// handleMetrics serves the router snapshot: JSON by default, the
+// Prometheus text exposition under the same content negotiation the
+// service uses (?format=prometheus, or a text/plain Accept header).
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	st := r.Stats()
+	if wantsPrometheus(req) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// wantsPrometheus mirrors the service's /metrics content negotiation
+// so one scrape config covers routers and backends alike.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := strings.ToLower(req.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// topologyRequest is the PUT /admin/topology payload.
+type topologyRequest struct {
+	Backends []string `json:"backends"`
+}
+
+// handleTopology serves PUT /admin/topology: replace the backend set
+// and warm-transfer hot plan-cache entries to their new owners.
+func (r *Router) handleTopology(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "read topology body: "+err.Error())
+		return
+	}
+	var tr topologyRequest
+	if err := json.Unmarshal(body, &tr); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "decode topology: "+err.Error())
+		return
+	}
+	if err := r.SetTopology(tr.Backends); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"backends": r.Backends()})
+}
+
+// writePrometheus renders the router snapshot in the text exposition
+// format with linerouter_* families. The service's writer is private
+// to its package; this small sibling follows the same conventions
+// (fixed family order, sorted labels, deterministic output).
+func writePrometheus(w io.Writer, st Stats) {
+	pf := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	family := func(name, typ, help string) {
+		pf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	family("linerouter_proxied_requests_total", "counter", "Client requests entering the proxy.")
+	pf("linerouter_proxied_requests_total %d\n", st.Proxied)
+	family("linerouter_retries_total", "counter", "Extra proxy attempts beyond the first.")
+	pf("linerouter_retries_total %d\n", st.Retries)
+	family("linerouter_proxy_errors_total", "counter", "Requests that exhausted every attempt.")
+	pf("linerouter_proxy_errors_total %d\n", st.ProxyErrors)
+	family("linerouter_warm_transfer_runs_total", "counter", "Warm-transfer rounds triggered by topology changes.")
+	pf("linerouter_warm_transfer_runs_total %d\n", st.WarmRuns)
+	family("linerouter_warm_transfer_keys_total", "counter", "Plan-cache entries moved by warm transfers.")
+	pf("linerouter_warm_transfer_keys_total %d\n", st.WarmKeys)
+	family("linerouter_warm_transfer_errors_total", "counter", "Warm-transfer export or import failures.")
+	pf("linerouter_warm_transfer_errors_total %d\n", st.WarmErrors)
+
+	family("linerouter_backend_up", "gauge", "Backend availability (1 = routable).")
+	for _, b := range st.Backends {
+		up := 0
+		if b.Available {
+			up = 1
+		}
+		pf("linerouter_backend_up{backend=%q} %d\n", b.Name, up)
+	}
+	family("linerouter_backend_requests_total", "counter", "Attempts forwarded, by backend.")
+	for _, b := range st.Backends {
+		pf("linerouter_backend_requests_total{backend=%q} %d\n", b.Name, b.Requests)
+	}
+	family("linerouter_backend_failures_total", "counter", "Failed attempts, by backend.")
+	for _, b := range st.Backends {
+		pf("linerouter_backend_failures_total{backend=%q} %d\n", b.Name, b.Failures)
+	}
+	family("linerouter_backend_quarantines_total", "counter", "Health-vote quarantine transitions, by backend.")
+	for _, b := range st.Backends {
+		pf("linerouter_backend_quarantines_total{backend=%q} %d\n", b.Name, b.Quarantines)
+	}
+	family("linerouter_backend_request_duration_seconds", "histogram", "Proxied request latency, by backend.")
+	for _, b := range st.Backends {
+		writeHistogram(pf, "linerouter_backend_request_duration_seconds", b.Name, b.Latency)
+	}
+}
+
+// writeHistogram emits one backend's latency histogram series.
+func writeHistogram(pf func(string, ...any), name, backendName string, h telemetry.HistogramSnapshot) {
+	bounds := make([]string, 0, len(h.Buckets))
+	for ub := range h.Buckets {
+		if ub != "+Inf" {
+			bounds = append(bounds, ub)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool {
+		a, _ := strconv.ParseFloat(bounds[i], 64)
+		b, _ := strconv.ParseFloat(bounds[j], 64)
+		return a < b
+	})
+	for _, ub := range bounds {
+		pf("%s_bucket{backend=%q,le=%q} %d\n", name, backendName, ub, h.Buckets[ub])
+	}
+	pf("%s_bucket{backend=%q,le=\"+Inf\"} %d\n", name, backendName, h.Buckets["+Inf"])
+	pf("%s_sum{backend=%q} %s\n", name, backendName, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+	pf("%s_count{backend=%q} %d\n", name, backendName, h.Count)
+}

@@ -14,6 +14,7 @@ const (
 	classQuery  = "query"  // the cheap GET evaluation endpoints
 	classBatch  = "batch"  // POST /v1/batch (bounded worker pool inside)
 	classSweeps = "sweeps" // the sweep job API
+	classCache  = "cache"  // the plan-cache snapshot export/import API
 )
 
 // classLimiter bounds the in-flight requests of one admission class.

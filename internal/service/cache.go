@@ -3,6 +3,9 @@ package service
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -18,13 +21,15 @@ import (
 // paper's recommendation for the pair). Model is the fault model (""
 // means crash) and Votes the explicit Byzantine vote threshold (0 means
 // the default f+1).
+// PlanKey also travels on the wire inside cache snapshots, so its
+// encoding is tagged and stable; Hash derives from the same encoding.
 type PlanKey struct {
-	N        int
-	F        int
-	Strategy string
-	MinDist  float64
-	Model    string
-	Votes    int
+	N        int     `json:"n"`
+	F        int     `json:"f"`
+	Strategy string  `json:"strategy,omitempty"`
+	MinDist  float64 `json:"mindist"`
+	Model    string  `json:"model,omitempty"`
+	Votes    int     `json:"votes,omitempty"`
 }
 
 // String formats the key for logs and errors.
@@ -41,6 +46,21 @@ func (k PlanKey) String() string {
 		s += fmt.Sprintf(" votes=%d", k.Votes)
 	}
 	return s
+}
+
+// Hash returns the content hash of the key: the hex SHA-256 of its
+// canonical JSON encoding. It is the sharding key — the router's
+// consistent-hash ring places every plan by this value, so the same
+// tuple always lands on the same backend regardless of which process
+// computes the hash.
+func (k PlanKey) Hash() string {
+	blob, err := json.Marshal(k)
+	if err != nil {
+		// PlanKey is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("service: marshal plan key: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
 }
 
 // Plan is a cached value: the immutable Searcher plus its worst-case
@@ -97,8 +117,13 @@ type CacheStats struct {
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
 	InflightWaits int64 `json:"inflight_waits"`
-	Size          int   `json:"size"`
-	Capacity      int   `json:"capacity"`
+	// Imports counts accepted snapshot imports; Warmed counts plans
+	// built off the serving path by those imports (entries already
+	// cached or in flight are skipped, not rebuilt).
+	Imports  int64 `json:"imports"`
+	Warmed   int64 `json:"warmed"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
 }
 
 // PlanCache is a concurrency-safe LRU cache of constructed Searchers
@@ -116,6 +141,7 @@ type PlanCache struct {
 	inflight map[PlanKey]*inflightBuild
 
 	hits, misses, evictions, waits atomic.Int64
+	imports, warmed                atomic.Int64
 }
 
 // cacheEntry is the list payload: key (for eviction) plus value.
@@ -230,7 +256,48 @@ func (c *PlanCache) Stats() CacheStats {
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
 		InflightWaits: c.waits.Load(),
+		Imports:       c.imports.Load(),
+		Warmed:        c.warmed.Load(),
 		Size:          size,
 		Capacity:      capacity,
 	}
+}
+
+// Warm ensures key is cached, building it off the serving path when
+// absent: a warm-transfer import, not client traffic, so it counts as
+// warmed rather than a miss. It reports whether this call built the
+// plan (false when the entry was already cached, or another builder —
+// a concurrent request or import — got there first).
+func (c *PlanCache) Warm(ctx context.Context, key PlanKey) (built bool, err error) {
+	c.mu.Lock()
+	if _, ok := c.items[key]; ok {
+		c.mu.Unlock()
+		return false, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return false, call.err
+	}
+	call := &inflightBuild{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+	c.warmed.Add(1)
+
+	_, span := telemetry.StartSpan(ctx, "plan.warm")
+	span.SetStr("plan", key.String())
+	call.plan, call.err = c.build(key)
+	if call.err != nil {
+		span.SetStr("error", call.err.Error())
+	}
+	span.End()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.insertLocked(key, call.plan)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.err == nil, call.err
 }

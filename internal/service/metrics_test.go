@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -95,6 +96,88 @@ func TestMetricsDroppedObservationsNoLogger(t *testing.T) {
 	m.Observe("/typo", 200, time.Millisecond)
 	if got := m.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{}).DroppedObservations; got != 1 {
 		t.Errorf("dropped_observations = %d, want 1", got)
+	}
+}
+
+// Every route the mux serves — in particular every /v1 path the
+// cluster router proxies — must be registered in endpointNames, or its
+// observations are silently dropped (the PR 3 /v1/searchtimes bug).
+// This drives one request through the full handler per route and
+// requires every observation to land: dropped stays zero and each
+// endpoint's request counter moves. Adding a route without registering
+// it fails here instead of in production.
+func TestHandlerRoutesAllRegistered(t *testing.T) {
+	routes := []struct {
+		method, target, endpoint string
+	}{
+		{"GET", "/v1/plan?n=3&f=1", "/v1/plan"},
+		{"GET", "/v1/searchtime?n=3&f=1&x=2", "/v1/searchtime"},
+		{"GET", "/v1/searchtimes?n=3&f=1&xs=1,2", "/v1/searchtimes"},
+		{"GET", "/v1/timeline?n=3&f=1&x=2", "/v1/timeline"},
+		{"GET", "/v1/lowerbound?n=3&f=1", "/v1/lowerbound"},
+		{"POST", "/v1/batch", "/v1/batch"},
+		{"POST", "/v1/sweeps", "/v1/sweeps"},
+		{"GET", "/v1/sweeps", "/v1/sweeps"},
+		{"GET", "/v1/sweeps/nope", "/v1/sweeps/{id}"},
+		{"GET", "/v1/sweeps/nope/result", "/v1/sweeps/{id}/result"},
+		{"DELETE", "/v1/sweeps/nope", "/v1/sweeps/{id}"},
+		{"GET", "/v1/cache/snapshot", "/v1/cache/snapshot"},
+		{"PUT", "/v1/cache/snapshot", "/v1/cache/snapshot"},
+		{"GET", "/healthz", "/healthz"},
+		{"GET", "/metrics", "/metrics"},
+		{"GET", "/debug/traces", "/debug/traces"},
+	}
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	for _, rt := range routes {
+		// Bodies are deliberately empty or invalid: a 4xx observation
+		// counts exactly like a 2xx one for registration purposes.
+		doReq(t, h, rt.method, rt.target, "")
+	}
+	snap := svc.metrics.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{})
+	if snap.DroppedObservations != 0 {
+		t.Fatalf("dropped_observations = %d after exercising every route; "+
+			"a route is missing from endpointNames", snap.DroppedObservations)
+	}
+	for _, rt := range routes {
+		if snap.Endpoints[rt.endpoint].Requests == 0 {
+			t.Errorf("endpoint %s recorded no requests (route %s %s misregistered?)",
+				rt.endpoint, rt.method, rt.target)
+		}
+	}
+	// The inverse direction: every registered name must be reachable by
+	// some route above, so endpointNames cannot rot into a list that
+	// hides future misregistrations behind stale entries.
+	covered := map[string]bool{}
+	for _, rt := range routes {
+		covered[rt.endpoint] = true
+	}
+	for _, name := range endpointNames {
+		if !covered[name] {
+			t.Errorf("registered endpoint %s is not exercised by this test; add a route for it", name)
+		}
+	}
+}
+
+// The trailing-path form a reverse proxy forwards (encoded queries,
+// no mutation by the router) must observe into the same endpoints.
+func TestObserveRouterProxiedPaths(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	r := httptest.NewRequest("GET", "/v1/searchtime?n=3&f=1&x=2&strategy=doubling", nil)
+	r.Header.Set("X-Forwarded-For", "203.0.113.9")
+	r.Header.Set("X-Forwarded-Host", "router.example")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != 200 {
+		t.Fatalf("proxied request failed: %d %s", w.Code, w.Body.String())
+	}
+	snap := svc.metrics.Snapshot(CacheStats{}, sweep.ManagerStats{}, ResilienceStats{})
+	if snap.DroppedObservations != 0 {
+		t.Fatalf("proxied request dropped its observation")
+	}
+	if snap.Endpoints["/v1/searchtime"].Requests != 1 {
+		t.Errorf("proxied request not observed under /v1/searchtime: %+v", snap.Endpoints)
 	}
 }
 

@@ -161,8 +161,10 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	}{
 		{"evictions", snap.Cache.Evictions},
 		{"hits", snap.Cache.Hits},
+		{"imports", snap.Cache.Imports},
 		{"inflight_waits", snap.Cache.InflightWaits},
 		{"misses", snap.Cache.Misses},
+		{"warmed", snap.Cache.Warmed},
 	} {
 		p.sample("linesearchd_plan_cache_operations_total", strconv.FormatInt(kv.v, 10), "op", kv.op)
 	}

@@ -53,7 +53,7 @@ func goldenSnapshot() Snapshot {
 				},
 			},
 		},
-		Cache: CacheStats{Hits: 5, Misses: 2, Evictions: 1, InflightWaits: 3, Size: 1, Capacity: 128},
+		Cache: CacheStats{Hits: 5, Misses: 2, Evictions: 1, InflightWaits: 3, Imports: 2, Warmed: 4, Size: 1, Capacity: 128},
 		Sweeps: sweep.ManagerStats{
 			Submitted: 4, Resumed: 1, Completed: 2, Failed: 1, Cancelled: 1,
 			CellsComputed: 100, CellsResumed: 10, CellErrors: 3,

@@ -17,6 +17,8 @@
 //	GET    /v1/sweeps/{id}                              job status and progress
 //	GET    /v1/sweeps/{id}/result                       finished job's dataset
 //	DELETE /v1/sweeps/{id}                              cancel a job
+//	GET  /v1/cache/snapshot                             export hot plan-cache entries (warm transfer)
+//	PUT  /v1/cache/snapshot                             import a snapshot, prewarming the cache
 //	GET  /healthz                                       liveness probe
 //	GET  /metrics                                       expvar-style JSON counters
 //
@@ -59,6 +61,16 @@ type Config struct {
 	// MaxInflightSweeps bounds the concurrent in-flight sweep API
 	// requests (default 16; negative means unlimited).
 	MaxInflightSweeps int
+	// MaxInflightCache bounds the concurrent in-flight cache snapshot
+	// export/import requests (default 4; negative means unlimited) —
+	// an import builds plans, so a storm of them must not starve the
+	// serving path.
+	MaxInflightCache int
+	// SnapshotDir is where rejected cache-snapshot imports are
+	// quarantined for the operator, mirroring the sweep checkpoint
+	// .corrupt convention. Empty disables persistence (imports are
+	// still rejected, just not kept).
+	SnapshotDir string
 	// Logger receives structured access and error logs (default
 	// slog.Default()). New wraps its handler with telemetry trace-ID
 	// attribution, so sampled requests' log lines carry trace_id.
@@ -95,6 +107,7 @@ type Service struct {
 var endpointNames = []string{
 	"/v1/plan", "/v1/searchtime", "/v1/searchtimes", "/v1/timeline", "/v1/lowerbound",
 	"/v1/batch", "/v1/sweeps", "/v1/sweeps/{id}", "/v1/sweeps/{id}/result",
+	"/v1/cache/snapshot",
 	"/healthz", "/metrics", "/debug/traces",
 }
 
@@ -133,6 +146,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxInflightSweeps == 0 {
 		cfg.MaxInflightSweeps = 16
 	}
+	if cfg.MaxInflightCache == 0 {
+		cfg.MaxInflightCache = 4
+	}
 	s := &Service{
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.CacheSize, cfg.Build),
@@ -144,6 +160,7 @@ func New(cfg Config) *Service {
 			classQuery:  newClassLimiter(classQuery, cfg.MaxInflightQuery),
 			classBatch:  newClassLimiter(classBatch, cfg.MaxInflightBatch),
 			classSweeps: newClassLimiter(classSweeps, cfg.MaxInflightSweeps),
+			classCache:  newClassLimiter(classCache, cfg.MaxInflightCache),
 		},
 	}
 	s.metrics.SetLogger(cfg.Logger)
@@ -187,6 +204,8 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepStatus))
 	mux.Handle("GET /v1/sweeps/{id}/result", sweeps("/v1/sweeps/{id}/result", s.handleSweepResult))
 	mux.Handle("DELETE /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepCancel))
+	mux.Handle("GET /v1/cache/snapshot", s.instrument("/v1/cache/snapshot", s.admit(classCache, http.HandlerFunc(s.handleCacheExport))))
+	mux.Handle("PUT /v1/cache/snapshot", s.instrument("/v1/cache/snapshot", s.admit(classCache, http.HandlerFunc(s.handleCacheImport))))
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleDebugTraces)))

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// warmCache populates a service's plan cache with a few distinct keys
+// via real requests and returns the keys.
+func warmCache(t *testing.T, h http.Handler) []PlanKey {
+	t.Helper()
+	keys := []PlanKey{
+		{N: 3, F: 1, MinDist: 1},
+		{N: 4, F: 1, MinDist: 1},
+		{N: 5, F: 2, MinDist: 1, Strategy: "doubling"},
+	}
+	for _, target := range []string{
+		"/v1/plan?n=3&f=1",
+		"/v1/plan?n=4&f=1",
+		"/v1/plan?n=5&f=2&strategy=doubling",
+	} {
+		if code, body := doReq(t, h, "GET", target, ""); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %v", target, code, body)
+		}
+	}
+	return keys
+}
+
+// Export → import on a fresh process yields cache hits with zero
+// builds on the serving path: the warm-transfer contract.
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := newTestService(t, Config{})
+	srcH := src.Handler()
+	warmCache(t, srcH)
+
+	r := httptest.NewRequest("GET", "/v1/cache/snapshot", nil)
+	w := httptest.NewRecorder()
+	srcH.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("export: status %d: %s", w.Code, w.Body.String())
+	}
+	var snap CacheSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode export: %v", err)
+	}
+	if len(snap.Entries) != 3 {
+		t.Fatalf("exported %d entries, want 3: %+v", len(snap.Entries), snap.Entries)
+	}
+	if snap.Checksum == "" || snap.Checksum != snap.checksum() {
+		t.Fatalf("export checksum %q does not seal the content", snap.Checksum)
+	}
+
+	// A fresh process with a counting builder: the import itself warms
+	// (builds off the serving path), after which requests are pure hits.
+	var builds atomic.Int64
+	dst := newTestService(t, Config{Build: countingBuild(&builds)})
+	dstH := dst.Handler()
+	ir := httptest.NewRequest("PUT", "/v1/cache/snapshot", bytes.NewReader(w.Body.Bytes()))
+	iw := httptest.NewRecorder()
+	dstH.ServeHTTP(iw, ir)
+	if iw.Code != http.StatusOK {
+		t.Fatalf("import: status %d: %s", iw.Code, iw.Body.String())
+	}
+	var stats ImportStats
+	if err := json.Unmarshal(iw.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Received != 3 || stats.Warmed != 3 || stats.Errors != 0 {
+		t.Fatalf("import stats = %+v, want 3 received, 3 warmed", stats)
+	}
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("import built %d plans, want 3", got)
+	}
+
+	// Serving the transferred keys: hits only, no recompute.
+	warmCache(t, dstH)
+	cs := dst.Cache().Stats()
+	if got := builds.Load(); got != 3 {
+		t.Errorf("serving warm-transferred keys rebuilt plans: %d builds, want 3", got)
+	}
+	if cs.Hits != 3 || cs.Misses != 0 {
+		t.Errorf("cache stats after warm serve = %+v, want 3 hits, 0 misses", cs)
+	}
+	if cs.Imports != 1 || cs.Warmed != 3 {
+		t.Errorf("cache stats = %+v, want 1 import, 3 warmed", cs)
+	}
+}
+
+// Importing entries that are already cached skips them: a re-transfer
+// is idempotent and never rebuilds.
+func TestSnapshotImportIdempotent(t *testing.T) {
+	var builds atomic.Int64
+	svc := newTestService(t, Config{Build: countingBuild(&builds)})
+	h := svc.Handler()
+	warmCache(t, h)
+	before := builds.Load()
+
+	snap := svc.Cache().Export(0)
+	blob, _ := json.Marshal(snap)
+	r := httptest.NewRequest("PUT", "/v1/cache/snapshot", bytes.NewReader(blob))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("import: status %d: %s", w.Code, w.Body.String())
+	}
+	var stats ImportStats
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 3 || stats.Warmed != 0 {
+		t.Errorf("self-import stats = %+v, want 3 skipped, 0 warmed", stats)
+	}
+	if got := builds.Load(); got != before {
+		t.Errorf("self-import rebuilt plans: %d builds, want %d", got, before)
+	}
+}
+
+// Export is MRU-first and the limit keeps only the hottest entries.
+func TestSnapshotExportOrderAndLimit(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	warmCache(t, h) // recency order now: n=5, n=4, n=3
+	// Touch n=3 again so it becomes the hottest.
+	doReq(t, h, "GET", "/v1/plan?n=3&f=1", "")
+
+	snap := svc.Cache().Export(2)
+	if len(snap.Entries) != 2 {
+		t.Fatalf("limited export has %d entries, want 2", len(snap.Entries))
+	}
+	if snap.Entries[0].Key.N != 3 || snap.Entries[1].Key.N != 5 {
+		t.Errorf("export order = %v, want MRU-first (n=3 then n=5)", snap.Entries)
+	}
+}
+
+// Corrupt or truncated snapshots are rejected with a 400 and
+// quarantined like a corrupt sweep checkpoint; a version-skewed one is
+// rejected too. None of them warm anything.
+func TestSnapshotImportRejectsCorrupt(t *testing.T) {
+	valid := func() []byte {
+		src := newTestService(t, Config{})
+		warmCache(t, src.Handler())
+		blob, _ := json.Marshal(src.Cache().Export(0))
+		return blob
+	}()
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"not-json", []byte("{ nope")},
+		{"truncated", valid[:len(valid)/2]},
+		{"flipped-bit", bytes.Replace(valid, []byte(`"n":3`), []byte(`"n":4`), 1)},
+		{"bad-checksum", bytes.Replace(valid, []byte(`"checksum":"`), []byte(`"checksum":"00`), 1)},
+		{"version-skew", bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":99`), 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var builds atomic.Int64
+			svc := newTestService(t, Config{Build: countingBuild(&builds), SnapshotDir: dir})
+			h := svc.Handler()
+
+			r := httptest.NewRequest("PUT", "/v1/cache/snapshot", bytes.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", w.Code, w.Body.String())
+			}
+			if builds.Load() != 0 {
+				t.Errorf("rejected snapshot still built %d plans", builds.Load())
+			}
+			if cs := svc.Cache().Stats(); cs.Imports != 0 || cs.Size != 0 {
+				t.Errorf("rejected snapshot counted as import: %+v", cs)
+			}
+			matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.corrupt"))
+			if err != nil || len(matches) != 1 {
+				t.Fatalf("quarantine files = %v (err %v), want exactly one", matches, err)
+			}
+			kept, err := os.ReadFile(matches[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(kept, tc.body) {
+				t.Errorf("quarantined bytes differ from the rejected payload")
+			}
+			if !strings.Contains(w.Body.String(), "quarantined to") {
+				t.Errorf("rejection does not name the quarantine file: %s", w.Body.String())
+			}
+		})
+	}
+}
+
+// Without a snapshot directory the import is still rejected — just
+// nothing is persisted.
+func TestSnapshotImportRejectWithoutDir(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	r := httptest.NewRequest("PUT", "/v1/cache/snapshot", strings.NewReader("{ nope"))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", w.Code)
+	}
+	if strings.Contains(w.Body.String(), "quarantined") {
+		t.Errorf("no snapshot dir configured, yet the response claims quarantine: %s", w.Body.String())
+	}
+}
+
+// A build error inside an import degrades that entry, not the import:
+// the healthy entries still warm.
+func TestSnapshotImportEntryBuildError(t *testing.T) {
+	snap := CacheSnapshot{
+		Version: cacheSnapshotVersion,
+		Entries: []CacheSnapshotEntry{
+			{Key: PlanKey{N: 3, F: 1, MinDist: 1}},
+			{Key: PlanKey{N: 1, F: 5, MinDist: 1}}, // invalid: f >= n
+		},
+	}
+	snap.Checksum = snap.checksum()
+	svc := newTestService(t, Config{})
+	stats, err := svc.Cache().Import(context.Background(), snap)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if stats.Warmed != 1 || stats.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 warmed, 1 error", stats)
+	}
+}
+
+// Hash is stable across processes (it feeds the consistent-hash ring)
+// and distinguishes distinct keys.
+func TestPlanKeyHash(t *testing.T) {
+	a := PlanKey{N: 3, F: 1, MinDist: 1}
+	if a.Hash() != (PlanKey{N: 3, F: 1, MinDist: 1}).Hash() {
+		t.Error("equal keys hash differently")
+	}
+	seen := map[string]PlanKey{}
+	for _, k := range []PlanKey{
+		a,
+		{N: 4, F: 1, MinDist: 1},
+		{N: 3, F: 2, MinDist: 1},
+		{N: 3, F: 1, MinDist: 2},
+		{N: 3, F: 1, MinDist: 1, Strategy: "doubling"},
+		{N: 3, F: 1, MinDist: 1, Model: "byzantine"},
+		{N: 3, F: 1, MinDist: 1, Model: "byzantine", Votes: 2},
+	} {
+		h := k.Hash()
+		if len(h) != 64 {
+			t.Errorf("hash %q is not hex sha256", h)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("keys %v and %v collide", prev, k)
+		}
+		seen[h] = k
+	}
+}
