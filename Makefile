@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos cluster-smoke fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos chaos-partition cluster-smoke fuzz repro data serve sweep clean
 
 all: build test
 
@@ -80,6 +80,15 @@ lint:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|KillAndResume|FaultInjection|FaultPoint' \
 		./internal/sweep ./internal/faultpoint -chaos.soak=45s
+
+# Partition chaos suite under the race detector: SWIM gossip under
+# split-brain and asymmetric link faults, replication hinted handoff
+# and anti-entropy convergence after a heal, and the kill-home-mid-
+# sweep zero-loss acceptance test. Every partition is injected with
+# seeded fault points, so a failure replays deterministically.
+chaos-partition:
+	$(GO) test -race -count=1 -v -run 'Partition' \
+		./internal/membership ./internal/cluster
 
 # Sharded-fleet smoke under the race detector: the consistent-hash
 # ring properties, the router integration suite (failover, warm

@@ -10,7 +10,9 @@
 //	linerouter -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
 //	           [-addr :8090] [-attempts 3] [-vnodes 160] \
 //	           [-health-interval 2s] [-quarantine-votes 3] \
-//	           [-slow-threshold 0] [-warm-keys 64] [-log text|json] [-quiet]
+//	           [-slow-threshold 0] [-warm-keys 64] [-log text|json] [-quiet] \
+//	           [-join http://peer:8080,...] [-advertise http://host:8090] \
+//	           [-gossip-interval 1s]
 //
 // Endpoints:
 //
@@ -18,6 +20,14 @@
 //	GET /healthz         200 while at least one backend is routable
 //	GET /metrics         router + per-backend stats; Prometheus text under Accept: text/plain
 //	PUT /admin/topology  {"backends": [...]} — replace the fleet and warm-transfer hot keys
+//	POST /gossip         membership exchange (only with -join)
+//
+// With -join, the router participates in the fleet's gossip as an
+// observer: it holds no keys, but every membership change rebuilds its
+// ring automatically — no PUT /admin/topology needed, and any number
+// of routers converge to the same ring without a coordination store.
+// While gossip reports zero alive shards (a full partition), the
+// router keeps its last topology: stale routing beats no routing.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"linesearch/internal/cluster"
+	"linesearch/internal/membership"
 )
 
 func main() {
@@ -67,11 +79,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "circuit-breaker open duration after consecutive failures")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "suppress info logs (errors still logged)")
+	join := fs.String("join", "", "comma-separated seed URLs of fleet members to gossip with (empty = static -backends topology)")
+	advertise := fs.String("advertise", "", "base URL fleet members reach this router at (required with -join)")
+	gossipInterval := fs.Duration("gossip-interval", time.Second, "membership probe cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *backends == "" {
-		return errors.New("-backends is required (comma-separated linesearchd URLs)")
+	var seeds []string
+	if *join != "" {
+		if *advertise == "" {
+			return errors.New("-join requires -advertise (the URL fleet members reach this router at)")
+		}
+		// Tolerate self in -join (the bootstrap idiom is joining via
+		// your own URL); the router only probes the other seeds.
+		all := splitBackends(*join)
+		for _, s := range all {
+			if s != *advertise {
+				seeds = append(seeds, s)
+			}
+		}
+		if err := cluster.ValidateBackends(append([]string{*advertise}, seeds...)); err != nil {
+			return fmt.Errorf("membership seed list: %w", err)
+		}
+	}
+	if *backends == "" && len(seeds) == 0 {
+		return errors.New("-backends is required (comma-separated linesearchd URLs), or use -join")
 	}
 
 	var handler slog.Handler
@@ -90,8 +122,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	logger := slog.New(handler)
 
+	// With -join but no -backends, the gossip seeds double as the
+	// initial topology; the first membership exchange replaces it.
+	initial := splitBackends(*backends)
+	if len(initial) == 0 {
+		initial = seeds
+	}
 	router, err := cluster.New(cluster.Config{
-		Backends:        splitBackends(*backends),
+		Backends:        initial,
 		VNodes:          *vnodes,
 		Attempts:        *attempts,
 		HealthInterval:  *healthInterval,
@@ -106,6 +144,42 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer router.Close()
 
+	// As a gossip observer the router never owns keys, but it hears
+	// every membership change and rebuilds its ring from the alive
+	// shard set. An empty alive set keeps the previous topology.
+	httpHandler := router.Handler()
+	if len(seeds) > 0 {
+		selfURL, _ := url.Parse(*advertise)
+		node, nerr := membership.NewNode(membership.Config{
+			Self:      membership.Member{Addr: selfURL.Host, URL: *advertise, Role: membership.RoleObserver},
+			Seeds:     seeds,
+			Transport: membership.NewHTTPTransport(&http.Client{Timeout: 2 * time.Second}),
+			Interval:  *gossipInterval,
+			Logger:    logger,
+			OnChange: func(v membership.View) {
+				shards := v.ShardURLs()
+				if len(shards) == 0 {
+					logger.Warn("membership reports no alive shards; keeping last topology")
+					return
+				}
+				if err := router.SetTopology(shards); err != nil {
+					logger.Error("membership topology rejected", "err", err)
+					return
+				}
+				logger.Info("topology from gossip", "shards", len(shards), "version", v.Version)
+			},
+		})
+		if nerr != nil {
+			return fmt.Errorf("membership: %w", nerr)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("POST "+membership.GossipPath, membership.Handler(node))
+		mux.Handle("/", httpHandler)
+		httpHandler = mux
+		node.Start()
+		defer node.Close()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -114,7 +188,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Info("routing", "addr", ln.Addr().String(), "backends", router.Backends())
 
 	srv := &http.Server{
-		Handler:           router.Handler(),
+		Handler:           httpHandler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

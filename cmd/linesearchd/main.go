@@ -10,6 +10,9 @@
 //	            [-sweep-dir data/sweeps] [-sweep-workers 0] [-sweep-jobs 2]
 //	            [-snapshot-dir data/snapshots]
 //	            [-trace-sample 0.1] [-trace-buffer 256] [-debug-addr ""]
+//	            [-join http://peer:8080,...] [-advertise http://host:8080]
+//	            [-gossip-interval 1s] [-replica-dir data/replicas]
+//	            [-replication-rf 2] [-anti-entropy-interval 30s]
 //
 // Endpoints (see internal/service):
 //
@@ -25,6 +28,14 @@
 //	GET  /healthz
 //	GET  /metrics                  JSON by default; Prometheus text under Accept: text/plain
 //	GET  /debug/traces             recent/slowest sampled request traces
+//
+// With -join set, the daemon gossips SWIM-style membership with its
+// peers (POST /gossip), streams every fsynced sweep checkpoint to the
+// next replication-factor-1 ring owners (PUT /v1/replica/...), spools
+// hinted handoffs for peers that are down, and runs periodic
+// anti-entropy so replicas converge after partitions. Routers started
+// with -join subscribe to the same gossip and rebuild their rings
+// without any PUT /admin/topology.
 //
 // With -debug-addr set, a second listener (keep it loopback-only; the
 // profiling endpoints can stall the process and expose internals)
@@ -46,12 +57,16 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"linesearch/internal/cluster"
+	"linesearch/internal/membership"
 	"linesearch/internal/service"
 	"linesearch/internal/sweep"
 	"linesearch/internal/telemetry"
@@ -90,8 +105,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	traceSample := fs.Float64("trace-sample", 0.1, "fraction of requests traced into /debug/traces (1 = all, 0 = default, negative disables)")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
 	debugAddr := fs.String("debug-addr", "", "optional pprof/debug listen address (empty disables; keep it loopback-only, e.g. 127.0.0.1:6060)")
+	join := fs.String("join", "", "comma-separated seed URLs of fleet members to gossip with (empty = single-node, no membership)")
+	advertise := fs.String("advertise", "", "base URL peers reach this daemon at (required with -join, e.g. http://10.0.0.5:8080)")
+	gossipInterval := fs.Duration("gossip-interval", time.Second, "membership probe cadence")
+	replicaDir := fs.String("replica-dir", filepath.Join("data", "replicas"), "directory for sweep checkpoints replicated from peers (empty disables replication)")
+	replicationRF := fs.Int("replication-rf", 2, "total owners per sweep checkpoint, this daemon included (f+1: survive rf-1 crashes)")
+	antiEntropyEvery := fs.Duration("anti-entropy-interval", 30*time.Second, "cadence of replica digest comparison and repair (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var seeds []string
+	if *join != "" {
+		if *advertise == "" {
+			return errors.New("-join requires -advertise (the URL peers reach this daemon at)")
+		}
+		// The first node of a fleet bootstraps by joining via its own
+		// URL; drop self from the seed list rather than probing it.
+		for _, raw := range strings.Split(*join, ",") {
+			if raw = strings.TrimSpace(raw); raw != "" && raw != *advertise {
+				seeds = append(seeds, raw)
+			}
+		}
+		if err := cluster.ValidateBackends(append([]string{*advertise}, seeds...)); err != nil {
+			return fmt.Errorf("membership seed list: %w", err)
+		}
 	}
 
 	var handler slog.Handler
@@ -120,13 +157,60 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SampleRate: *traceSample,
 		Capacity:   *traceBuffer,
 	})
-	sweeps := sweep.NewManager(sweep.Config{
+	// Replica store and replicator come first: the sweep manager's
+	// checkpoint hook streams into them.
+	var store *sweep.ReplicaStore
+	var replicator *cluster.Replicator
+	var err error
+	if *replicaDir != "" {
+		if err := os.MkdirAll(*replicaDir, 0o755); err != nil {
+			return fmt.Errorf("replica directory: %w", err)
+		}
+		store = sweep.NewReplicaStore(*replicaDir, logger)
+	}
+	if *join != "" && store != nil {
+		homeDir := *sweepDir
+		replicator, err = cluster.NewReplicator(cluster.ReplicatorConfig{
+			Self:   *advertise,
+			RF:     *replicationRF,
+			Logger: logger,
+			LocalDigest: func() map[string]sweep.CheckpointInfo {
+				out := sweep.ScanCheckpoints(homeDir)
+				for id, info := range store.Digest() {
+					if held, ok := out[id]; !ok || info.Newer(held) {
+						out[id] = info
+					}
+				}
+				return out
+			},
+			LoadLocal: func(id string) (*sweep.Checkpoint, error) {
+				if cp, err := sweep.LoadCheckpoint(homeDir, id); err == nil && cp != nil {
+					return cp, nil
+				}
+				return store.Get(id)
+			},
+			Apply: store.Put,
+		})
+		if err != nil {
+			return fmt.Errorf("replicator: %w", err)
+		}
+	}
+	sweepCfg := sweep.Config{
 		Dir:           *sweepDir,
 		Workers:       *sweepWorkers,
 		MaxActiveJobs: *sweepJobs,
 		Logger:        logger,
 		Tracer:        tracer,
-	})
+	}
+	if store != nil {
+		sweepCfg.ReplicaDir = store.Dir()
+	}
+	if replicator != nil {
+		sweepCfg.OnCheckpoint = func(cp sweep.Checkpoint) {
+			replicator.Replicate(context.Background(), cp)
+		}
+	}
+	sweeps := sweep.NewManager(sweepCfg)
 	// Fail fast on an unwritable sweep directory instead of failing the
 	// first submitted job.
 	if err := os.MkdirAll(*sweepDir, 0o755); err != nil {
@@ -141,7 +225,56 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Tracer:         tracer,
 		Sweeps:         sweeps,
 		SnapshotDir:    *snapshotDir,
+		Replicas:       store,
 	})
+
+	// With -join, gossip membership keeps the fleet view; membership
+	// changes retarget the replicator, and a periodic anti-entropy pass
+	// repairs replica divergence after partitions.
+	var node *membership.Node
+	var aeStop chan struct{}
+	httpHandler := svc.Handler()
+	if *join != "" {
+		selfURL, _ := url.Parse(*advertise)
+		node, err = membership.NewNode(membership.Config{
+			Self:      membership.Member{Addr: selfURL.Host, URL: *advertise, Role: membership.RoleShard},
+			Seeds:     seeds,
+			Transport: membership.NewHTTPTransport(&http.Client{Timeout: 2 * time.Second}),
+			Interval:  *gossipInterval,
+			Logger:    logger,
+			OnChange: func(v membership.View) {
+				if replicator != nil {
+					replicator.SetMembers(v.ShardURLs())
+				}
+				logger.Info("membership changed", "alive_shards", len(v.AliveShards()), "version", v.Version)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("membership: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("POST "+membership.GossipPath, membership.Handler(node))
+		mux.Handle("/", httpHandler)
+		httpHandler = mux
+		node.Start()
+		defer node.Close()
+		if replicator != nil && *antiEntropyEvery > 0 {
+			aeStop = make(chan struct{})
+			go func() {
+				ticker := time.NewTicker(*antiEntropyEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-aeStop:
+						return
+					case <-ticker.C:
+						replicator.AntiEntropy(context.Background())
+					}
+				}
+			}()
+			defer close(aeStop)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -151,7 +284,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Info("serving", "addr", ln.Addr().String(), "cache", *cacheSize, "max_batch", *maxBatch)
 
 	srv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           httpHandler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -28,13 +28,16 @@ type BackendStats struct {
 
 // Stats is the router's metrics snapshot, served by GET /metrics.
 type Stats struct {
-	Backends    []BackendStats `json:"backends"`
-	Proxied     int64          `json:"proxied"`
-	Retries     int64          `json:"retries"`
-	ProxyErrors int64          `json:"proxy_errors"`
-	WarmRuns    int64          `json:"warm_transfer_runs"`
-	WarmKeys    int64          `json:"warm_transfer_keys"`
-	WarmErrors  int64          `json:"warm_transfer_errors"`
+	Backends []BackendStats `json:"backends"`
+	Proxied  int64          `json:"proxied"`
+	Retries  int64          `json:"retries"`
+	// ReplicaReads counts pure reads fanned out to the key's owner
+	// pair because the primary was unavailable.
+	ReplicaReads int64 `json:"replica_fanout_reads"`
+	ProxyErrors  int64 `json:"proxy_errors"`
+	WarmRuns     int64 `json:"warm_transfer_runs"`
+	WarmKeys     int64 `json:"warm_transfer_keys"`
+	WarmErrors   int64 `json:"warm_transfer_errors"`
 }
 
 // Stats snapshots the router.
@@ -48,13 +51,14 @@ func (r *Router) Stats() Stats {
 	sort.Slice(backends, func(i, j int) bool { return backends[i].name < backends[j].name })
 	now := time.Now()
 	st := Stats{
-		Backends:    make([]BackendStats, 0, len(backends)),
-		Proxied:     r.proxied.Load(),
-		Retries:     r.retries.Load(),
-		ProxyErrors: r.proxyErrs.Load(),
-		WarmRuns:    r.warmRuns.Load(),
-		WarmKeys:    r.warmKeys.Load(),
-		WarmErrors:  r.warmErrors.Load(),
+		Backends:     make([]BackendStats, 0, len(backends)),
+		Proxied:      r.proxied.Load(),
+		Retries:      r.retries.Load(),
+		ReplicaReads: r.replicaReads.Load(),
+		ProxyErrors:  r.proxyErrs.Load(),
+		WarmRuns:     r.warmRuns.Load(),
+		WarmKeys:     r.warmKeys.Load(),
+		WarmErrors:   r.warmErrors.Load(),
 	}
 	for _, b := range backends {
 		st.Backends = append(st.Backends, BackendStats{
@@ -164,6 +168,8 @@ func writePrometheus(w io.Writer, st Stats) {
 	pf("linerouter_proxied_requests_total %d\n", st.Proxied)
 	family("linerouter_retries_total", "counter", "Extra proxy attempts beyond the first.")
 	pf("linerouter_retries_total %d\n", st.Retries)
+	family("linerouter_replica_fanout_reads_total", "counter", "Pure reads fanned out to the owner pair because the primary was unavailable.")
+	pf("linerouter_replica_fanout_reads_total %d\n", st.ReplicaReads)
 	family("linerouter_proxy_errors_total", "counter", "Requests that exhausted every attempt.")
 	pf("linerouter_proxy_errors_total %d\n", st.ProxyErrors)
 	family("linerouter_warm_transfer_runs_total", "counter", "Warm-transfer rounds triggered by topology changes.")

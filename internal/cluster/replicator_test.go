@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+
+	"linesearch/internal/faultpoint"
+	"linesearch/internal/service"
+	"linesearch/internal/sweep"
+)
+
+// replicaNode is one backend with a replica store and a replicator:
+// the full replication triangle in-process.
+type replicaNode struct {
+	svc   *service.Service
+	srv   *httptest.Server
+	store *sweep.ReplicaStore
+	mgr   *sweep.Manager
+	rep   *Replicator
+}
+
+func (n *replicaNode) close() {
+	n.srv.Close()
+	n.svc.Close()
+}
+
+// newReplicaNode builds a backend whose sweep manager streams every
+// checkpoint through a Replicator, exactly as linesearchd wires it.
+// Optional tweaks adjust the sweep config (the chaos suite slows
+// evaluation and checkpoints every cell so a kill lands mid-flight).
+func newReplicaNode(t *testing.T, tweaks ...func(*sweep.Config)) *replicaNode {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	n := &replicaNode{}
+	n.store = sweep.NewReplicaStore(t.TempDir(), logger)
+	home := t.TempDir()
+	sweepCfg := sweep.Config{
+		Dir:        home,
+		Workers:    1,
+		Logger:     logger,
+		ReplicaDir: n.store.Dir(),
+		OnCheckpoint: func(cp sweep.Checkpoint) {
+			if n.rep != nil {
+				n.rep.Replicate(context.Background(), cp)
+			}
+		},
+	}
+	for _, tweak := range tweaks {
+		tweak(&sweepCfg)
+	}
+	n.mgr = sweep.NewManager(sweepCfg)
+	n.svc = service.New(service.Config{Logger: logger, Sweeps: n.mgr, Replicas: n.store})
+	n.srv = httptest.NewServer(n.svc.Handler())
+	rep, err := NewReplicator(ReplicatorConfig{
+		Self:   n.srv.URL,
+		Logger: logger,
+		LocalDigest: func() map[string]sweep.CheckpointInfo {
+			out := sweep.ScanCheckpoints(home)
+			for id, info := range n.store.Digest() {
+				if held, ok := out[id]; !ok || info.Newer(held) {
+					out[id] = info
+				}
+			}
+			return out
+		},
+		LoadLocal: func(id string) (*sweep.Checkpoint, error) {
+			if cp, err := sweep.LoadCheckpoint(home, id); err == nil && cp != nil {
+				return cp, nil
+			}
+			return n.store.Get(id)
+		},
+		Apply: n.store.Put,
+	})
+	if err != nil {
+		t.Fatalf("NewReplicator: %v", err)
+	}
+	n.rep = rep
+	return n
+}
+
+// runSweep submits a small sweep on node and waits for it.
+func runSweep(t *testing.T, n *replicaNode) string {
+	t.Helper()
+	j, err := n.mgr.Submit(sweep.Spec{N: []int{3}, F: []int{1}, XMax: 8})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-j.Done()
+	if st := j.Status(); st.State != sweep.StateDone {
+		t.Fatalf("sweep finished %s: %+v", st.State, st)
+	}
+	return j.ID()
+}
+
+func TestReplicatorStreamsToOwner(t *testing.T) {
+	a, b := newReplicaNode(t), newReplicaNode(t)
+	defer a.close()
+	defer b.close()
+	members := []string{a.srv.URL, b.srv.URL}
+	a.rep.SetMembers(members)
+	b.rep.SetMembers(members)
+
+	id := runSweep(t, a)
+
+	// b's replica store must now hold a's terminal checkpoint with a's
+	// checksum, byte for byte.
+	got, err := b.store.Get(id)
+	if err != nil || got == nil {
+		t.Fatalf("replica missing on peer: %v, %v", got, err)
+	}
+	home, lerr := sweep.LoadCheckpoint(a.mgr.Dir(), id)
+	if lerr != nil || home == nil {
+		t.Fatalf("home checkpoint: %v, %v", home, lerr)
+	}
+	if got.Checksum != home.Checksum {
+		t.Fatalf("replica checksum %s != home %s", got.Checksum, home.Checksum)
+	}
+	if st := a.rep.Stats(); st.Replicated == 0 {
+		t.Fatalf("replicator recorded no pushes: %+v", st)
+	}
+}
+
+// TestReplicatorHintedHandoff downs the peer during the sweep, then
+// heals it: the checkpoints must arrive via hint replay in the next
+// anti-entropy pass, and converge to the home checksum.
+func TestReplicatorHintedHandoff(t *testing.T) {
+	defer faultpoint.Reset()
+	a, b := newReplicaNode(t), newReplicaNode(t)
+	defer a.close()
+	defer b.close()
+	members := []string{a.srv.URL, b.srv.URL}
+	a.rep.SetMembers(members)
+	b.rep.SetMembers(members)
+
+	bName, _ := memberName(b.srv.URL)
+	faultpoint.Arm(fpReplicate+"."+bName, faultpoint.Rule{})
+	id := runSweep(t, a)
+
+	if got, _ := b.store.Get(id); got != nil {
+		t.Fatal("checkpoint reached the downed peer")
+	}
+	st := a.rep.Stats()
+	if st.Hinted == 0 || st.HintsPending == 0 {
+		t.Fatalf("no hints spooled while peer was down: %+v", st)
+	}
+
+	faultpoint.Reset()
+	if rep := a.rep.AntiEntropy(context.Background()); rep == 0 && a.rep.Stats().HintsReplayed == 0 {
+		t.Fatal("anti-entropy neither replayed hints nor repaired")
+	}
+	got, err := b.store.Get(id)
+	if err != nil || got == nil {
+		t.Fatalf("replica still missing after heal: %v, %v", got, err)
+	}
+	home, _ := sweep.LoadCheckpoint(a.mgr.Dir(), id)
+	if home == nil || got.Checksum != home.Checksum {
+		t.Fatalf("replica did not converge to the home checksum")
+	}
+	if st := a.rep.Stats(); st.HintsPending != 0 {
+		t.Fatalf("hints still pending after replay: %+v", st)
+	}
+}
+
+// TestReplicatorHintSpoolBounded pins the handoff bound: latest-wins
+// per job, oldest job evicted at the limit.
+func TestReplicatorHintSpoolBounded(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	rep, err := NewReplicator(ReplicatorConfig{
+		Self:        "http://127.0.0.1:1",
+		HintLimit:   2,
+		Logger:      logger,
+		LocalDigest: func() map[string]sweep.CheckpointInfo { return nil },
+		LoadLocal:   func(string) (*sweep.Checkpoint, error) { return nil, nil },
+		Apply:       func(sweep.Checkpoint) error { return nil },
+	})
+	if err != nil {
+		t.Fatalf("NewReplicator: %v", err)
+	}
+	cp := func(id string, cells int) sweep.Checkpoint {
+		c := sweep.Checkpoint{ID: id}
+		for i := 0; i < cells; i++ {
+			c.Cells = append(c.Cells, sweep.Cell{Index: i})
+		}
+		return c
+	}
+	rep.hint("peer", cp("job-1", 1))
+	rep.hint("peer", cp("job-1", 2)) // latest-wins: still one entry
+	rep.hint("peer", cp("job-2", 1))
+	rep.hint("peer", cp("job-3", 1)) // evicts job-1
+	st := rep.Stats()
+	if st.HintsPending != 2 || st.HintsDropped != 1 {
+		t.Fatalf("spool = %+v, want 2 pending / 1 dropped", st)
+	}
+	hints := rep.takeHints("peer")
+	if len(hints) != 2 || hints[0].ID != "job-2" || hints[1].ID != "job-3" {
+		t.Fatalf("drained hints = %v, want job-2 then job-3", hints)
+	}
+}
+
+// TestReplicatorAntiEntropyPulls makes the peer strictly ahead (it ran
+// the sweep; we hold nothing) and requires the local side to pull the
+// checkpoint during its own anti-entropy pass.
+func TestReplicatorAntiEntropyPulls(t *testing.T) {
+	a, b := newReplicaNode(t), newReplicaNode(t)
+	defer a.close()
+	defer b.close()
+	members := []string{a.srv.URL, b.srv.URL}
+	// Only b's replicator knows the fleet; a never saw the checkpoint.
+	b.rep.SetMembers(members)
+	faultpoint.Arm(fpReplicate, faultpoint.Rule{})
+	id := runSweep(t, b)
+	faultpoint.Reset()
+	// Drop the spooled hints: this test exercises the digest path.
+	for _, member := range b.rep.Owners() {
+		b.rep.takeHints(member)
+	}
+
+	a.rep.SetMembers(members)
+	if got, _ := a.store.Get(id); got != nil {
+		t.Fatal("test setup leaked the checkpoint to a")
+	}
+	if repairs := a.rep.AntiEntropy(context.Background()); repairs == 0 {
+		t.Fatalf("anti-entropy found nothing to pull: %+v", a.rep.Stats())
+	}
+	got, err := a.store.Get(id)
+	if err != nil || got == nil {
+		t.Fatalf("pull repair did not land: %v, %v", got, err)
+	}
+	home, _ := sweep.LoadCheckpoint(b.mgr.Dir(), id)
+	if home == nil || got.Checksum != home.Checksum {
+		t.Fatal("pulled replica does not match the peer's home checksum")
+	}
+}
+
+func TestReplicatorValidation(t *testing.T) {
+	digest := func() map[string]sweep.CheckpointInfo { return nil }
+	load := func(string) (*sweep.Checkpoint, error) { return nil, nil }
+	apply := func(sweep.Checkpoint) error { return nil }
+	if _, err := NewReplicator(ReplicatorConfig{LocalDigest: digest, LoadLocal: load, Apply: apply}); err == nil {
+		t.Fatal("NewReplicator accepted an empty Self")
+	}
+	if _, err := NewReplicator(ReplicatorConfig{Self: "http://ok:1"}); err == nil {
+		t.Fatal("NewReplicator accepted missing accessors")
+	}
+	if _, err := NewReplicator(ReplicatorConfig{Self: "not a url", LocalDigest: digest, LoadLocal: load, Apply: apply}); err == nil {
+		t.Fatal("NewReplicator accepted a bad Self URL")
+	}
+}

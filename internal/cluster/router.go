@@ -95,9 +95,10 @@ type Router struct {
 
 	rr atomic.Uint64 // rotation for keyless routes
 
-	proxied    atomic.Int64
-	retries    atomic.Int64
-	proxyErrs  atomic.Int64
+	proxied      atomic.Int64
+	retries      atomic.Int64
+	replicaReads atomic.Int64
+	proxyErrs    atomic.Int64
 	warmRuns   atomic.Int64
 	warmKeys   atomic.Int64
 	warmErrors atomic.Int64
@@ -110,8 +111,8 @@ type Router struct {
 // New builds a router over cfg.Backends and starts the health loop
 // (unless disabled).
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Backends) == 0 {
-		return nil, errors.New("cluster: at least one backend is required")
+	if err := ValidateBackends(cfg.Backends); err != nil {
+		return nil, err
 	}
 	if cfg.Attempts < 1 {
 		cfg.Attempts = 3
@@ -346,6 +347,13 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	if replicaReadable(req) && key != "" {
+		if resp, ok := r.replicaRead(req, key); ok {
+			relay(w, resp)
+			return
+		}
+	}
+
 	var lastResp *bufferedResponse
 	var lastErr error
 	var prev *backend
@@ -388,6 +396,64 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 	}
 	writeJSONError(w, http.StatusBadGateway,
 		fmt.Sprintf("all %d attempt(s) failed: %v", attempts, lastErr))
+}
+
+// replicaReadable reports whether a request may be served by any plan
+// owner rather than only the primary: a side-effect-free GET whose
+// response is a pure function of the query (the plan construction is
+// deterministic, so every owner answers byte-identically). Timelines
+// and plans qualify too, but searchtime reads dominate the read path.
+func replicaReadable(req *http.Request) bool {
+	if req.Method != http.MethodGet {
+		return false
+	}
+	p := req.URL.Path
+	return p == "/v1/searchtime" || p == "/v1/searchtimes"
+}
+
+// replicaRead fans a pure read out to the key's first two ring owners
+// when the primary is unavailable (breaker open, quarantined by health
+// voting or by the slow-vote rule), first good answer wins. Returns
+// (nil, false) when the primary is healthy or no second owner exists —
+// the normal sequential path handles it. Determinism makes this safe:
+// every owner computes the identical bytes, so racing them changes
+// latency, never content.
+func (r *Router) replicaRead(req *http.Request, key string) (*bufferedResponse, bool) {
+	r.mu.RLock()
+	names := r.ring.Owners(key, 2)
+	owners := make([]*backend, 0, len(names))
+	for _, name := range names {
+		if b := r.backends[name]; b != nil {
+			owners = append(owners, b)
+		}
+	}
+	r.mu.RUnlock()
+	if len(owners) < 2 || owners[0].available(time.Now()) {
+		return nil, false
+	}
+	r.replicaReads.Add(1)
+
+	type result struct {
+		resp *bufferedResponse
+		err  error
+	}
+	results := make(chan result, len(owners))
+	for _, b := range owners {
+		b := b
+		go func() {
+			resp, err := r.forward(req, b, nil)
+			results <- result{resp, err}
+		}()
+	}
+	for range owners {
+		res := <-results
+		if res.err == nil {
+			return res.resp, true
+		}
+	}
+	// Both owners failed. Fall back to the sequential walk: it retries
+	// the whole ring and owns the relay-the-shed-response contract.
+	return nil, false
 }
 
 // forward sends one attempt to one backend and buffers the whole

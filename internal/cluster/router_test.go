@@ -656,3 +656,79 @@ func TestRoutingPolicy(t *testing.T) {
 		t.Errorf("timeline and plan for the same key hash differently; cache locality lost")
 	}
 }
+
+// TestRouterReplicaReadFanout pins the replica-read path: when a pure
+// read's primary owner is unavailable (quarantined or breaker-open),
+// the router fans the request out to the key's owner pair and relays
+// the first good answer — byte-identical to a healthy single process,
+// because plan construction is deterministic on every owner.
+func TestRouterReplicaReadFanout(t *testing.T) {
+	defer faultpoint.Reset()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	single := service.New(service.Config{Logger: quiet})
+	defer single.Close()
+	ref := httptest.NewServer(single.Handler())
+	defer ref.Close()
+
+	f := newFleet(t, 3, Config{})
+	defer f.close()
+
+	queries := []string{
+		"/v1/searchtime?n=3&f=1&x=4.5",
+		"/v1/searchtimes?n=4&f=2&xs=1.5,2.5,9",
+		"/v1/searchtime?n=5&f=2&x=12&k=2",
+	}
+	for _, q := range queries {
+		req := httptest.NewRequest("GET", q, nil)
+		key, _ := routingPolicy(req)
+		f.router.mu.RLock()
+		primary := f.router.ring.Owner(key)
+		b := f.router.backends[primary]
+		f.router.mu.RUnlock()
+
+		// Quarantine the primary and kill its link so only the second
+		// owner can answer.
+		b.down.Store(true)
+		faultpoint.Arm(fpForward+"."+primary, faultpoint.Rule{})
+
+		before := f.router.replicaReads.Load()
+		code, got := f.get(t, q)
+		faultpoint.Reset()
+		b.down.Store(false)
+
+		want, err := http.Get(ref.URL + q)
+		if err != nil {
+			t.Fatalf("reference GET %s: %v", q, err)
+		}
+		wantBody, _ := io.ReadAll(want.Body)
+		want.Body.Close()
+		if code != want.StatusCode {
+			t.Fatalf("%s: status %d via fanout, %d direct", q, code, want.StatusCode)
+		}
+		if !bytes.Equal(got, wantBody) {
+			t.Errorf("%s: fanout body differs from single-process\nfanout: %s\ndirect: %s", q, got, wantBody)
+		}
+		if f.router.replicaReads.Load() == before {
+			t.Errorf("%s: replica fan-out never engaged", q)
+		}
+	}
+}
+
+// TestRouterReplicaReadStaysOff proves the fan-out is reserved for
+// degraded primaries: with every backend healthy, the whole query mix
+// takes the sequential path and the fanout counter stays zero.
+func TestRouterReplicaReadStaysOff(t *testing.T) {
+	f := newFleet(t, 3, Config{})
+	defer f.close()
+	for _, q := range queryMix() {
+		f.get(t, q)
+	}
+	if n := f.router.replicaReads.Load(); n != 0 {
+		t.Fatalf("replica fan-out engaged %d times on a healthy fleet", n)
+	}
+	// Mutating methods never fan out, even with the primary down.
+	req := httptest.NewRequest("DELETE", "/v1/sweeps/nope", nil)
+	if replicaReadable(req) {
+		t.Fatal("a DELETE is never replica-readable")
+	}
+}

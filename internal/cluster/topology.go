@@ -18,17 +18,14 @@ import (
 // without recompiling them. Transfer failures are logged and counted,
 // never fatal: a cold cache is slow, not wrong.
 func (r *Router) SetTopology(backendURLs []string) error {
-	if len(backendURLs) == 0 {
-		return fmt.Errorf("cluster: topology needs at least one backend")
+	if err := ValidateBackends(backendURLs); err != nil {
+		return err
 	}
 	next := make(map[string]*backend, len(backendURLs))
 	for _, raw := range backendURLs {
 		b, err := newBackend(raw, r.cfg.FailureThreshold, r.cfg.BreakerCooldown)
 		if err != nil {
 			return err
-		}
-		if _, dup := next[b.name]; dup {
-			return fmt.Errorf("cluster: duplicate backend %s", b.name)
 		}
 		next[b.name] = b
 	}

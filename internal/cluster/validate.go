@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ValidateBackends checks a backend URL list the way every entry point
+// into the ring must: PUT /admin/topology, the router's -backends
+// flag, and the membership seed list all reject the same shapes with
+// the same reasons. A valid list is non-empty, every URL parses with a
+// scheme and host, and no two entries name the same host:port (two
+// ring members with one name would silently halve the replica count).
+func ValidateBackends(urls []string) error {
+	if len(urls) == 0 {
+		return fmt.Errorf("cluster: backend list is empty")
+	}
+	seen := make(map[string]string, len(urls))
+	for _, raw := range urls {
+		if strings.TrimSpace(raw) == "" {
+			return fmt.Errorf("cluster: backend list contains an empty url")
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("cluster: backend url %q does not parse: %v", raw, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return fmt.Errorf("cluster: backend url %q needs an http or https scheme (e.g. http://127.0.0.1:8081)", raw)
+		}
+		if u.Host == "" {
+			return fmt.Errorf("cluster: backend url %q has no host", raw)
+		}
+		if prev, dup := seen[u.Host]; dup {
+			return fmt.Errorf("cluster: backend urls %q and %q both name %s", prev, raw, u.Host)
+		}
+		seen[u.Host] = raw
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestValidateBackends pins the one validator every entry point into
+// the ring shares: the -backends flag, PUT /admin/topology, and the
+// membership seed list all reject the same shapes for the same
+// reasons.
+func TestValidateBackends(t *testing.T) {
+	cases := []struct {
+		name    string
+		urls    []string
+		wantErr string // substring of the rejection reason; "" = valid
+	}{
+		{"single", []string{"http://127.0.0.1:8081"}, ""},
+		{"many", []string{"http://a:1", "https://b:2", "http://c:3"}, ""},
+		{"empty list", nil, "empty"},
+		{"blank entry", []string{"http://a:1", "   "}, "empty url"},
+		{"unparsable", []string{"http://[::1"}, "does not parse"},
+		{"no scheme", []string{"127.0.0.1:8081"}, "does not parse"},
+		{"bare host", []string{"localhost"}, "scheme"},
+		{"wrong scheme", []string{"ftp://a:1"}, "scheme"},
+		{"no host", []string{"http://"}, "no host"},
+		{"duplicate host", []string{"http://a:1", "http://a:1"}, "both name"},
+		{"duplicate via path", []string{"http://a:1/x", "http://a:1/y"}, "both name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateBackends(tc.urls)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateBackends(%v) = %v, want nil", tc.urls, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ValidateBackends(%v) accepted an invalid list", tc.urls)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ValidateBackends(%v) = %q, want reason containing %q", tc.urls, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidBackends: the constructor runs the same
+// validation as the topology endpoint, so a bad -backends flag fails
+// at startup instead of at first request.
+func TestNewRejectsInvalidBackends(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	for _, urls := range [][]string{
+		{"http://a:1", "http://a:1"},
+		{"ftp://a:1"},
+		{},
+	} {
+		if _, err := New(Config{Backends: urls, HealthInterval: -1, Logger: quiet}); err == nil {
+			t.Errorf("New accepted backends %v", urls)
+		}
+	}
+}
+
+// TestTopologyEndpointRejectsWithReason: every invalid PUT
+// /admin/topology gets a 400 whose JSON body names the reason, and the
+// serving topology is untouched afterwards.
+func TestTopologyEndpointRejectsWithReason(t *testing.T) {
+	f := newFleet(t, 2, Config{})
+	before := f.router.Backends()
+
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error field
+	}{
+		{"empty list", `{"backends": []}`, "empty"},
+		{"blank entry", `{"backends": ["http://a:1", ""]}`, "empty url"},
+		{"bad scheme", `{"backends": ["ftp://a:1"]}`, "scheme"},
+		{"no host", `{"backends": ["http://"]}`, "no host"},
+		{"duplicates", `{"backends": ["http://a:1", "http://a:1"]}`, "both name"},
+		{"not json", `{"backends": [`, "decode topology"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("PUT", "/admin/topology", strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			f.router.Handler().ServeHTTP(w, req)
+			if w.Code != 400 {
+				t.Fatalf("status %d, want 400 (body %s)", w.Code, w.Body.String())
+			}
+			if !strings.Contains(w.Body.String(), tc.want) {
+				t.Fatalf("error body %q does not name the reason %q", w.Body.String(), tc.want)
+			}
+		})
+	}
+
+	after := f.router.Backends()
+	if len(after) != len(before) {
+		t.Fatalf("rejected updates changed the topology: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,155 @@
+// Package membership is a SWIM-style gossip membership protocol for
+// the linesearchd fleet: every backend runs a Node that periodically
+// probes a randomly chosen peer, falls back to indirect probes through
+// other members, marks unresponsive peers suspect, and confirms them
+// dead only after a suspicion timeout — the paper's detection rule
+// carried to the serving layer, where one missed probe is a dropped
+// packet, not a crashed shard. Every exchange piggybacks the sender's
+// full member list, so state spreads epidemically and any two
+// connected nodes converge to the same view; routers join as
+// observers and rebuild their consistent-hash ring from the converged
+// alive set instead of being told a topology by hand.
+//
+// The protocol is deterministic under test: probe-target selection
+// draws from a seeded PRNG, time advances in ticks driven by the
+// caller (the production loop just calls Tick on a cadence), and the
+// transport hits internal/faultpoint before every send, so chaos
+// schedules can drop or delay exactly the links they mean to.
+package membership
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Status is a member's health as seen by the local node. The zero
+// value is Alive so a bare Member literal is a usable join entry.
+type Status uint8
+
+const (
+	// Alive members answer probes (directly or by refuting suspicion).
+	Alive Status = iota
+	// Suspect members missed a direct and indirect probe round; they
+	// stay routable nowhere but keep their ring slot until confirmed.
+	Suspect
+	// Dead members exhausted the suspicion timeout and are removed from
+	// the alive set; they rejoin by gossiping a higher incarnation.
+	Dead
+)
+
+// String names the status for logs and JSON.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Roles a member can gossip under. Shards serve traffic and appear on
+// the ring; observers (routers) take part in the protocol — they
+// probe, relay and converge — but never own keys.
+const (
+	RoleShard    = "shard"
+	RoleObserver = "observer"
+)
+
+// Member is one gossiped fleet entry. Addr is the identity (the
+// serving host:port, which is also the ring member name); URL is the
+// base URL peers reach it at. Incarnation orders statements about the
+// same member: a member refutes its own suspicion by bumping its
+// incarnation, and only the member itself ever does.
+type Member struct {
+	Addr        string `json:"addr"`
+	URL         string `json:"url"`
+	Role        string `json:"role"`
+	Status      Status `json:"status"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// supersedes reports whether statement a beats statement b about the
+// same member: higher incarnation wins outright; within one
+// incarnation a worse status overrides (dead > suspect > alive), the
+// standard SWIM precedence that lets bad news travel without the
+// subject's cooperation while good news needs a fresh incarnation.
+func supersedes(a, b Member) bool {
+	if a.Incarnation != b.Incarnation {
+		return a.Incarnation > b.Incarnation
+	}
+	return a.Status > b.Status
+}
+
+// MessageKind distinguishes the two RPCs of the protocol.
+type MessageKind string
+
+const (
+	// KindPing is a direct probe: "are you alive; here is my view".
+	KindPing MessageKind = "ping"
+	// KindPingReq asks the receiver to probe Target on the sender's
+	// behalf — the indirect probe that distinguishes a dead peer from a
+	// broken link between two healthy ones.
+	KindPingReq MessageKind = "ping-req"
+)
+
+// Message is one gossip exchange payload. Every message piggybacks
+// the sender's member list; replies set Ack (and, for ping-req,
+// TargetOK reporting whether the indirect probe succeeded).
+type Message struct {
+	Kind     MessageKind `json:"kind"`
+	From     Member      `json:"from"`
+	Target   string      `json:"target,omitempty"` // ping-req: member URL to probe
+	Ack      bool        `json:"ack,omitempty"`
+	TargetOK bool        `json:"target_ok,omitempty"`
+	Members  []Member    `json:"members"`
+}
+
+// Transport delivers one gossip exchange to the node at url and
+// returns its reply. Implementations must be safe for concurrent use.
+type Transport interface {
+	Exchange(ctx context.Context, url string, msg Message) (Message, error)
+}
+
+// View is an immutable snapshot of a node's member table.
+type View struct {
+	// Version increments on every change to the table; two nodes with
+	// equal tables can still differ in Version (it counts local edits).
+	Version uint64
+	Members []Member
+}
+
+// AliveShards returns the sorted alive members with the shard role —
+// the set a router builds its ring from.
+func (v View) AliveShards() []Member {
+	out := make([]Member, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m.Status == Alive && m.Role == RoleShard {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ShardURLs returns the alive shards' base URLs, sorted — the
+// SetTopology input.
+func (v View) ShardURLs() []string {
+	shards := v.AliveShards()
+	out := make([]string, len(shards))
+	for i, m := range shards {
+		out[i] = m.URL
+	}
+	return out
+}
+
+// Fingerprint is a canonical description of the alive shard set; two
+// converged nodes produce equal fingerprints, which is what the
+// multi-router convergence tests pin.
+func (v View) Fingerprint() string {
+	return strings.Join(v.ShardURLs(), ",")
+}

@@ -1,0 +1,167 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"linesearch/internal/faultpoint"
+)
+
+// GossipPath is the HTTP route a fleet member serves gossip on,
+// mounted next to the service handler by cmd/linesearchd (and by the
+// router when it joins as an observer).
+const GossipPath = "/gossip"
+
+// Fault points in the gossip transport. Chaos schedules arm these to
+// drop or delay links deterministically:
+//
+//	membership.send                  every outbound exchange
+//	membership.send.<to>             everything sent TO member <to> (a dead or isolated node)
+//	membership.link.<from>.<to>      one directed link (asymmetric partitions)
+//
+// <from>/<to> are member Addrs (host:port). Both the HTTP and the
+// loopback transport hit the same points, so a schedule written
+// against in-process nodes replays against a real fleet unchanged.
+const (
+	fpSend = "membership.send"
+	fpLink = "membership.link"
+)
+
+// hitLink fires the transport fault points for one directed send.
+func hitLink(from, to string) error {
+	if err := faultpoint.Hit(fpSend); err != nil {
+		return err
+	}
+	if err := faultpoint.Hit(fpSend + "." + to); err != nil {
+		return err
+	}
+	return faultpoint.Hit(fpLink + "." + from + "." + to)
+}
+
+// addrOf strips the scheme from a member base URL, recovering the
+// Addr identity fault points and ring members are keyed by.
+func addrOf(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		return strings.TrimSuffix(url[i+3:], "/")
+	}
+	return strings.TrimSuffix(url, "/")
+}
+
+// maxGossipBody bounds one inbound gossip payload; member lists are
+// tiny, so this is generous.
+const maxGossipBody = 1 << 20
+
+// HTTPTransport gossips over POST <peer>/gossip. The zero value is
+// not usable; create with NewHTTPTransport.
+type HTTPTransport struct {
+	client *http.Client
+}
+
+// NewHTTPTransport returns a transport over client (nil uses a
+// default client; callers should pass one with a timeout shorter than
+// their probe interval).
+func NewHTTPTransport(client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPTransport{client: client}
+}
+
+// Exchange implements Transport.
+func (t *HTTPTransport) Exchange(ctx context.Context, url string, msg Message) (Message, error) {
+	if err := hitLink(msg.From.Addr, addrOf(url)); err != nil {
+		return Message{}, err
+	}
+	blob, err := json.Marshal(msg)
+	if err != nil {
+		return Message{}, fmt.Errorf("membership: marshal message: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(url, "/")+GossipPath, bytes.NewReader(blob))
+	if err != nil {
+		return Message{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return Message{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Message{}, fmt.Errorf("membership: gossip to %s returned %s", url, resp.Status)
+	}
+	var reply Message
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxGossipBody)).Decode(&reply); err != nil {
+		return Message{}, fmt.Errorf("membership: decode gossip reply: %w", err)
+	}
+	return reply, nil
+}
+
+// Handler serves the inbound side of HTTPTransport for n: mount it at
+// POST /gossip on the member's mux.
+func Handler(n *Node) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":"gossip wants POST"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		var msg Message
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxGossipBody)).Decode(&msg); err != nil {
+			http.Error(w, `{"error":"decode gossip message: `+err.Error()+`"}`, http.StatusBadRequest)
+			return
+		}
+		reply := n.Handle(r.Context(), msg)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reply)
+	})
+}
+
+// Loopback is an in-process transport connecting Nodes by URL: the
+// deterministic fabric the partition chaos schedules run on. A
+// message crosses a Loopback link only if the shared fault points let
+// it; there is no network, no goroutine hop, no timing jitter.
+type Loopback struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewLoopback returns an empty fabric.
+func NewLoopback() *Loopback {
+	return &Loopback{nodes: make(map[string]*Node)}
+}
+
+// Join registers n under url (its Self.URL).
+func (l *Loopback) Join(url string, n *Node) {
+	l.mu.Lock()
+	l.nodes[url] = n
+	l.mu.Unlock()
+}
+
+// Leave unregisters url — a hard kill: every future exchange to it
+// fails like a refused connection.
+func (l *Loopback) Leave(url string) {
+	l.mu.Lock()
+	delete(l.nodes, url)
+	l.mu.Unlock()
+}
+
+// Exchange implements Transport by calling the target node's Handle
+// inline.
+func (l *Loopback) Exchange(ctx context.Context, url string, msg Message) (Message, error) {
+	if err := hitLink(msg.From.Addr, addrOf(url)); err != nil {
+		return Message{}, err
+	}
+	l.mu.Lock()
+	n := l.nodes[url]
+	l.mu.Unlock()
+	if n == nil {
+		return Message{}, fmt.Errorf("membership: no node at %s", url)
+	}
+	return n.Handle(ctx, msg), nil
+}

@@ -123,6 +123,9 @@ func TestHandlerRoutesAllRegistered(t *testing.T) {
 		{"DELETE", "/v1/sweeps/nope", "/v1/sweeps/{id}"},
 		{"GET", "/v1/cache/snapshot", "/v1/cache/snapshot"},
 		{"PUT", "/v1/cache/snapshot", "/v1/cache/snapshot"},
+		{"GET", "/v1/replica/checkpoints/nope", "/v1/replica/checkpoints/{id}"},
+		{"PUT", "/v1/replica/checkpoints/nope", "/v1/replica/checkpoints/{id}"},
+		{"GET", "/v1/replica/digest", "/v1/replica/digest"},
 		{"GET", "/healthz", "/healthz"},
 		{"GET", "/metrics", "/metrics"},
 		{"GET", "/debug/traces", "/debug/traces"},

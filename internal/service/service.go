@@ -86,6 +86,11 @@ type Config struct {
 	// "data/sweeps"); nothing touches the disk until the first
 	// submission.
 	Sweeps *sweep.Manager
+	// Replicas holds sweep checkpoints replicated from other fleet
+	// members. Nil disables the /v1/replica surface (single-node
+	// deployments); linesearchd wires one when started with a replica
+	// directory.
+	Replicas *sweep.ReplicaStore
 }
 
 // Service is the linesearchd request handler set. Create with New;
@@ -108,6 +113,7 @@ var endpointNames = []string{
 	"/v1/plan", "/v1/searchtime", "/v1/searchtimes", "/v1/timeline", "/v1/lowerbound",
 	"/v1/batch", "/v1/sweeps", "/v1/sweeps/{id}", "/v1/sweeps/{id}/result",
 	"/v1/cache/snapshot",
+	"/v1/replica/checkpoints/{id}", "/v1/replica/digest",
 	"/healthz", "/metrics", "/debug/traces",
 }
 
@@ -206,6 +212,9 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("DELETE /v1/sweeps/{id}", sweeps("/v1/sweeps/{id}", s.handleSweepCancel))
 	mux.Handle("GET /v1/cache/snapshot", s.instrument("/v1/cache/snapshot", s.admit(classCache, http.HandlerFunc(s.handleCacheExport))))
 	mux.Handle("PUT /v1/cache/snapshot", s.instrument("/v1/cache/snapshot", s.admit(classCache, http.HandlerFunc(s.handleCacheImport))))
+	mux.Handle("PUT /v1/replica/checkpoints/{id}", s.instrument("/v1/replica/checkpoints/{id}", s.admit(classCache, http.HandlerFunc(s.handleReplicaPut))))
+	mux.Handle("GET /v1/replica/checkpoints/{id}", s.instrument("/v1/replica/checkpoints/{id}", s.admit(classCache, http.HandlerFunc(s.handleReplicaGet))))
+	mux.Handle("GET /v1/replica/digest", s.instrument("/v1/replica/digest", s.admit(classCache, http.HandlerFunc(s.handleReplicaDigest))))
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleDebugTraces)))

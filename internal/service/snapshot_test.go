@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -260,5 +262,122 @@ func TestPlanKeyHash(t *testing.T) {
 			t.Errorf("keys %v and %v collide", prev, k)
 		}
 		seen[h] = k
+	}
+}
+
+// TestSnapshotConcurrentImportsRaceLiveTraffic hammers one service
+// with simultaneous snapshot imports (the router re-pushing warm
+// transfers) while live query traffic warms the same keys through the
+// serving path. The cache must stay coherent — every request answers
+// 200 with the same bytes a quiet process produces — and the counters
+// must account for every import.
+func TestSnapshotConcurrentImportsRaceLiveTraffic(t *testing.T) {
+	src := newTestService(t, Config{})
+	warmCache(t, src.Handler())
+	r := httptest.NewRequest("GET", "/v1/cache/snapshot", nil)
+	w := httptest.NewRecorder()
+	src.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("export: status %d", w.Code)
+	}
+	snapshot := w.Body.Bytes()
+
+	// The reference bytes a healthy, quiet process serves.
+	queries := []string{
+		"/v1/plan?n=3&f=1",
+		"/v1/plan?n=4&f=1",
+		"/v1/plan?n=5&f=2&strategy=doubling",
+		"/v1/searchtime?n=3&f=1&x=4.5",
+	}
+	reference := make(map[string][]byte, len(queries))
+	for _, q := range queries {
+		qr := httptest.NewRequest("GET", q, nil)
+		qw := httptest.NewRecorder()
+		src.Handler().ServeHTTP(qw, qr)
+		if qw.Code != http.StatusOK {
+			t.Fatalf("reference GET %s: %d", q, qw.Code)
+		}
+		reference[q] = qw.Body.Bytes()
+	}
+
+	dst := newTestService(t, Config{})
+	h := dst.Handler()
+	const importers, readers, rounds = 4, 4, 25
+
+	var wg sync.WaitGroup
+	var warmedTotal, skippedTotal, importOK atomic.Int64
+	errs := make(chan string, (importers+readers)*rounds)
+	for i := 0; i < importers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ir := httptest.NewRequest("PUT", "/v1/cache/snapshot", bytes.NewReader(snapshot))
+				iw := httptest.NewRecorder()
+				h.ServeHTTP(iw, ir)
+				if iw.Code != http.StatusOK {
+					errs <- "import: " + iw.Body.String()
+					continue
+				}
+				var st ImportStats
+				if err := json.Unmarshal(iw.Body.Bytes(), &st); err != nil {
+					errs <- "decode import stats: " + err.Error()
+					continue
+				}
+				if st.Errors != 0 || st.Warmed+st.Skipped != st.Received || st.Received != 3 {
+					errs <- fmt.Sprintf("import dropped entries: %+v", st)
+					continue
+				}
+				importOK.Add(1)
+				warmedTotal.Add(int64(st.Warmed))
+				skippedTotal.Add(int64(st.Skipped))
+			}
+		}()
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := queries[(i+r)%len(queries)]
+				qr := httptest.NewRequest("GET", q, nil)
+				qw := httptest.NewRecorder()
+				h.ServeHTTP(qw, qr)
+				if qw.Code != http.StatusOK {
+					errs <- "read " + q + ": " + qw.Body.String()
+					continue
+				}
+				if !bytes.Equal(qw.Body.Bytes(), reference[q]) {
+					errs <- "read " + q + ": bytes diverged from the quiet reference"
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	cs := dst.Cache().Stats()
+	if cs.Imports != importers*rounds || importOK.Load() != importers*rounds {
+		t.Errorf("Imports = %d (%d clean), want %d (every concurrent PUT accounted)",
+			cs.Imports, importOK.Load(), importers*rounds)
+	}
+	// Every entry of every import was either warmed or skipped-as-
+	// cached (checked per response above), and the cache counter agrees
+	// with the per-response sum: nothing double-counted, nothing lost.
+	if cs.Warmed != warmedTotal.Load() {
+		t.Errorf("cache counted %d warms, responses reported %d", cs.Warmed, warmedTotal.Load())
+	}
+	if warmedTotal.Load()+skippedTotal.Load() != int64(importers*rounds*3) {
+		t.Errorf("warmed %d + skipped %d != %d entries pushed",
+			warmedTotal.Load(), skippedTotal.Load(), importers*rounds*3)
+	}
+	// The cache ends fully warm: one more pass over the keys is pure hits.
+	before := cs.Misses
+	warmCache(t, h)
+	if after := dst.Cache().Stats(); after.Misses != before {
+		t.Errorf("cache not converged after the race: misses %d -> %d", before, after.Misses)
 	}
 }

@@ -61,23 +61,34 @@ func (cp Checkpoint) checksum() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// Verify checks a decoded checkpoint's integrity: the wire version
+// and the content checksum. It is what a replica owner runs on every
+// checkpoint pushed to it before trusting a byte of it.
+func (cp Checkpoint) Verify() error {
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("sweep: checkpoint %s has version %d, want %d", cp.ID, cp.Version, checkpointVersion)
+	}
+	if want := cp.checksum(); cp.Checksum != want {
+		return fmt.Errorf("sweep: checkpoint %s failed its checksum: file has %.12s, content hashes to %.12s",
+			cp.ID, cp.Checksum, want)
+	}
+	return nil
+}
+
 // checkpointPath returns the checkpoint file for a job ID.
 func checkpointPath(dir, id string) string {
 	return filepath.Join(dir, id+".checkpoint.json")
 }
 
 // writeCheckpoint persists a checkpoint atomically and durably,
-// creating dir if needed: write to a temp file, fsync it, rename over
-// the target, fsync the directory. A crash at any point leaves either
-// the previous checkpoint or the new one — never a torn file the next
-// start would trust. Cells are sorted by index so the file is
-// deterministic for a given completed set.
-func writeCheckpoint(dir string, cp Checkpoint) error {
+// stamping the version, timestamp and checksum, and returns the
+// stamped value — the exact content now on disk, which is what the
+// replication hook streams to the other ring owners (replica files
+// must carry the home checksum byte for byte, or anti-entropy would
+// see phantom divergence).
+func writeCheckpoint(dir string, cp Checkpoint) (Checkpoint, error) {
 	if err := faultpoint.Hit(fpCheckpointWrite); err != nil {
-		return fmt.Errorf("sweep: write checkpoint: %w", err)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("sweep: checkpoint dir: %w", err)
+		return cp, fmt.Errorf("sweep: write checkpoint: %w", err)
 	}
 	sort.Slice(cp.Cells, func(i, j int) bool { return cp.Cells[i].Index < cp.Cells[j].Index })
 	cp.Version = checkpointVersion
@@ -85,14 +96,30 @@ func writeCheckpoint(dir string, cp Checkpoint) error {
 	cp.Checksum = cp.checksum()
 	blob, err := json.MarshalIndent(cp, "", " ")
 	if err != nil {
-		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
+		return cp, fmt.Errorf("sweep: marshal checkpoint: %w", err)
 	}
-	path := checkpointPath(dir, cp.ID)
-	tmp, err := os.CreateTemp(dir, cp.ID+".tmp-*")
+	if err := writeFileDurable(dir, cp.ID, checkpointPath(dir, cp.ID), append(blob, '\n')); err != nil {
+		return cp, err
+	}
+	return cp, nil
+}
+
+// writeFileDurable writes blob atomically and durably, creating dir
+// if needed: write to a temp file, fsync it, rename over the target,
+// fsync the directory. A crash at any point leaves either the
+// previous file or the new one — never a torn file the next start
+// would trust. Shared by the home checkpoint writer and the replica
+// store, so both sides of a replicated checkpoint get the same
+// durability.
+func writeFileDurable(dir, id, path string, blob []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, id+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint temp file: %w", err)
 	}
-	_, werr := tmp.Write(append(blob, '\n'))
+	_, werr := tmp.Write(blob)
 	// Sync before rename: the rename is only crash-safe once the data
 	// it publishes is on the platter.
 	serr := faultpoint.Hit(fpCheckpointSync)
@@ -166,6 +193,30 @@ func readCheckpoint(dir, id, wantHash string) (*Checkpoint, error) {
 	return &cp, nil
 }
 
+// LoadCheckpoint loads and verifies (version, checksum) the checkpoint
+// for id in dir, with no spec-hash expectation: the replication read
+// path, where the caller identifies content by checksum rather than by
+// the spec it was submitted under. Missing is (nil, nil); a corrupt
+// file is an error but is left in place (the home read path owns
+// quarantining).
+func LoadCheckpoint(dir, id string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(checkpointPath(dir, id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return nil, fmt.Errorf("sweep: decode checkpoint %s: %w", id, err)
+	}
+	if err := cp.Verify(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
 // quarantineCorrupt moves a corrupt checkpoint aside and describes the
 // outcome for the error message.
 func quarantineCorrupt(path string) string {
@@ -183,6 +234,62 @@ func removeCheckpoint(dir, id string) error {
 		return err
 	}
 	return nil
+}
+
+// CheckpointInfo is one checkpoint's identity in an anti-entropy
+// digest: enough to decide whether two owners hold the same bytes
+// (equal checksums) and, when they differ, which one is ahead (more
+// cells, then the later timestamp).
+type CheckpointInfo struct {
+	ID        string    `json:"id"`
+	SpecHash  string    `json:"spec_hash"`
+	Checksum  string    `json:"checksum"`
+	Cells     int       `json:"cells"`
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Newer reports whether a should replace b when both describe the
+// same job: strictly more completed cells wins, then the later write.
+func (a CheckpointInfo) Newer(b CheckpointInfo) bool {
+	if a.Cells != b.Cells {
+		return a.Cells > b.Cells
+	}
+	return a.UpdatedAt.After(b.UpdatedAt)
+}
+
+// info summarizes a checkpoint for digests.
+func (cp Checkpoint) info() CheckpointInfo {
+	return CheckpointInfo{
+		ID:        cp.ID,
+		SpecHash:  cp.SpecHash,
+		Checksum:  cp.Checksum,
+		Cells:     len(cp.Cells),
+		UpdatedAt: cp.UpdatedAt,
+	}
+}
+
+// ScanCheckpoints summarizes every valid checkpoint in dir, keyed by
+// job ID. Unreadable, undecodable or checksum-mismatched files are
+// skipped (anti-entropy treats them as absent and re-replicates); a
+// missing directory is an empty map.
+func ScanCheckpoints(dir string) map[string]CheckpointInfo {
+	out := make(map[string]CheckpointInfo)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.checkpoint.json"))
+	if err != nil {
+		return out
+	}
+	for _, path := range matches {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var cp Checkpoint
+		if err := json.Unmarshal(blob, &cp); err != nil || cp.Verify() != nil {
+			continue
+		}
+		out[cp.ID] = cp.info()
+	}
+	return out
 }
 
 // cleanupOrphans removes "*.tmp-*" temp files that a crash between

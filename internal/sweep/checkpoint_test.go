@@ -217,7 +217,7 @@ func TestCheckpointRejectsSpecMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	cp := Checkpoint{ID: spec.JobID(), SpecHash: "not-the-real-hash", Spec: spec}
-	if err := writeCheckpoint(dir, cp); err != nil {
+	if _, err := writeCheckpoint(dir, cp); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := readCheckpoint(dir, spec.JobID(), spec.Hash()); err == nil {
@@ -247,7 +247,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			{Index: 0, N: 3, F: 1, Strategy: "auto", Err: "boom"},
 		},
 	}
-	if err := writeCheckpoint(dir, cp); err != nil {
+	if _, err := writeCheckpoint(dir, cp); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readCheckpoint(dir, spec.JobID(), spec.Hash())
@@ -299,7 +299,7 @@ func TestCheckpointChecksumTamperMovesAside(t *testing.T) {
 	cr := 4.5
 	cp := Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec,
 		Cells: []Cell{{Index: 0, N: 3, F: 1, Strategy: "auto", EmpiricalCR: &cr}}}
-	if err := writeCheckpoint(dir, cp); err != nil {
+	if _, err := writeCheckpoint(dir, cp); err != nil {
 		t.Fatal(err)
 	}
 	path := checkpointPath(dir, spec.JobID())
@@ -356,7 +356,7 @@ func TestManagerStartupRemovesOrphanedTempFiles(t *testing.T) {
 	if err := spec.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeCheckpoint(dir, Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec}); err != nil {
+	if _, err := writeCheckpoint(dir, Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec}); err != nil {
 		t.Fatal(err)
 	}
 	orphans := []string{
@@ -398,7 +398,7 @@ func TestCheckpointWriteFaultInjection(t *testing.T) {
 		faultpoint.Reset()
 		faultpoint.Arm(fp, faultpoint.Rule{Times: 1})
 		cp := Checkpoint{ID: spec.JobID(), SpecHash: spec.Hash(), Spec: spec}
-		if err := writeCheckpoint(dir, cp); err == nil {
+		if _, err := writeCheckpoint(dir, cp); err == nil {
 			t.Errorf("%s: injected fault did not fail the write", fp)
 		}
 		if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(tmps) != 0 {
@@ -406,7 +406,7 @@ func TestCheckpointWriteFaultInjection(t *testing.T) {
 		}
 		// The fault is exhausted; the retried write succeeds and reads
 		// back checksum-clean.
-		if err := writeCheckpoint(dir, cp); err != nil {
+		if _, err := writeCheckpoint(dir, cp); err != nil {
 			t.Errorf("%s: post-fault write failed: %v", fp, err)
 		}
 		if got, err := readCheckpoint(dir, spec.JobID(), spec.Hash()); err != nil || got == nil {

@@ -48,6 +48,21 @@ type Config struct {
 	// Tracer samples per-cell traces into the shared debug ring buffer.
 	// Nil disables cell tracing; latency histograms are kept regardless.
 	Tracer *telemetry.Tracer
+	// OnCheckpoint, when set, fires after every durable checkpoint
+	// write (cadence flushes and terminal states) with the exact
+	// stamped content now on disk. The fleet wiring points it at the
+	// cluster replicator, which streams the checkpoint to the other
+	// f ring owners. Called synchronously from the job goroutine, so
+	// implementations must bound their own latency (the replicator
+	// spools hints instead of waiting out dead peers).
+	OnCheckpoint func(Checkpoint)
+	// ReplicaDir, when set, is consulted on Submit when the home
+	// checkpoint is missing: a job whose previous home crashed resumes
+	// from the copy replicated to this backend instead of starting
+	// cold. Replica-read failures degrade to a cold start with a
+	// warning — recovery is best effort, correctness never depends on
+	// it.
+	ReplicaDir string
 	// Eval overrides the cell evaluator (tests only).
 	Eval EvalFunc
 }
@@ -69,6 +84,10 @@ type ManagerStats struct {
 	CellRetries        int64 `json:"cell_retries"`
 	CellsQuarantined   int64 `json:"cells_quarantined"`
 	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// ReplicasRecovered counts submits that resumed from a replicated
+	// checkpoint because the home checkpoint was missing — each one is
+	// a job that survived the death of its previous home backend.
+	ReplicasRecovered int64 `json:"replicas_recovered"`
 	// RunningJobs and PendingJobs are point-in-time gauges.
 	RunningJobs int `json:"running_jobs"`
 	PendingJobs int `json:"pending_jobs"`
@@ -98,6 +117,7 @@ type Manager struct {
 	submitted, resumedJobs, completed, failed, cancelled atomic.Int64
 	cellsComputed, cellsResumed, cellErrors              atomic.Int64
 	cellRetries, cellsQuarantined, checkpointFailures    atomic.Int64
+	replicasRecovered                                    atomic.Int64
 
 	// cellLatency is always on (Observe is atomic and allocation-free);
 	// the bounds stretch past request scale because one cell can spend
@@ -200,6 +220,24 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cp == nil && m.cfg.ReplicaDir != "" {
+		// No home checkpoint: this backend may be the failover home for
+		// a job whose previous owner died. A replicated checkpoint (the
+		// f+1 rule's payoff) resumes the job with every cell the old
+		// home had flushed; anything wrong with the replica degrades to
+		// a cold start.
+		rcp, rerr := readCheckpoint(m.cfg.ReplicaDir, id, spec.Hash())
+		switch {
+		case rerr != nil:
+			m.cfg.Logger.Warn("sweep replica recovery failed; starting cold",
+				"job", id, "err", rerr)
+		case rcp != nil:
+			cp = rcp
+			m.replicasRecovered.Add(1)
+			m.cfg.Logger.Info("sweep recovered from replicated checkpoint",
+				"job", id, "cells", len(rcp.Cells))
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -284,6 +322,7 @@ func (m *Manager) Stats() ManagerStats {
 		CellRetries:        m.cellRetries.Load(),
 		CellsQuarantined:   m.cellsQuarantined.Load(),
 		CheckpointFailures: m.checkpointFailures.Load(),
+		ReplicasRecovered:  m.replicasRecovered.Load(),
 		CellLatency:        m.cellLatency.Snapshot(),
 	}
 	m.mu.Lock()
@@ -363,9 +402,11 @@ func (m *Manager) runJob(j *Job) {
 		sinceFlush++
 		if sinceFlush >= m.cfg.CheckpointEvery {
 			sinceFlush = 0
-			if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+			if stamped, err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
 				m.checkpointFailures.Add(1)
 				m.cfg.Logger.Error("sweep checkpoint failed", "job", j.id, "err", err)
+			} else if m.cfg.OnCheckpoint != nil {
+				m.cfg.OnCheckpoint(stamped)
 			}
 		}
 	}
@@ -377,12 +418,16 @@ func (m *Manager) runJob(j *Job) {
 // with quarantined cells fail loudly instead of passing a silently
 // degraded dataset off as done.
 func (m *Manager) finalize(j *Job, interrupted bool) {
-	if err := writeCheckpoint(m.cfg.Dir, j.checkpoint()); err != nil {
+	stamped, err := writeCheckpoint(m.cfg.Dir, j.checkpoint())
+	if err != nil {
 		m.checkpointFailures.Add(1)
 		m.cfg.Logger.Error("sweep final checkpoint failed", "job", j.id, "err", err)
 		m.failed.Add(1)
 		j.finish(StateFailed, err, nil)
 		return
+	}
+	if m.cfg.OnCheckpoint != nil {
+		m.cfg.OnCheckpoint(stamped)
 	}
 	if interrupted {
 		m.cancelled.Add(1)
