@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check lint chaos chaos-partition cluster-smoke fuzz repro data serve sweep clean
+.PHONY: all build test race bench bench-paper bench-check bench-pr5 bench-pr5-check bench-pr6 bench-pr6-check bench-pr7 bench-pr7-check bench-pr10 bench-pr10-check lint chaos chaos-partition cluster-smoke obs-smoke fuzz repro data serve sweep clean
 
 all: build test
 
@@ -67,6 +67,20 @@ bench-pr7:
 bench-pr7-check: bench-pr7
 	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json BENCH_pr7.json
 
+# Observability-era benchmarks: the PR 7 set plus the event journal
+# (live Record and the nil-journal disabled path, both 0 allocs/op) and
+# outbound traceparent propagation on the untraced hot path. Writes
+# BENCH_pr10.json.
+bench-pr10:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry ./internal/telemetry/journal ./internal/compiled ./internal/engine | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr10.json
+
+# Fail when the untraced request path or the kernels regress allocs/op
+# against the PR 7 report — the observability plane must be free when
+# it is off.
+bench-pr10-check: bench-pr10
+	$(GO) run ./cmd/benchjson -compare BENCH_pr7.json BENCH_pr10.json
+
 # Static analysis beyond go vet. staticcheck is installed by CI; run
 # `go install honnef.co/go/tools/cmd/staticcheck@2025.1` to get it
 # locally.
@@ -97,6 +111,14 @@ chaos-partition:
 cluster-smoke:
 	$(GO) test -race -count=1 ./internal/cluster ./cmd/linerouter
 	$(GO) test -race -count=1 -run 'TestClusterSmoke' ./cmd/loadgen
+
+# Observability smoke against real processes: two linesearchd backends
+# and a linerouter on ephemeral ports; asserts one sampled request
+# stitches across processes on /debug/fleet-traces and that a topology
+# reshape leaves journal events on the router (topology_change) and the
+# receiving backend (snapshot_import).
+obs-smoke:
+	bash scripts/obs-smoke.sh
 
 # One benchmark per paper table/figure plus micro benchmarks.
 bench-paper:

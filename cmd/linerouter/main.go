@@ -11,16 +11,25 @@
 //	           [-addr :8090] [-attempts 3] [-vnodes 160] \
 //	           [-health-interval 2s] [-quarantine-votes 3] \
 //	           [-slow-threshold 0] [-warm-keys 64] [-log text|json] [-quiet] \
+//	           [-trace-sample 1] [-trace-buffer 256] [-debug-addr ""] \
+//	           [-slo-objective 0.99] [-slo-latency-budget 250ms] \
 //	           [-join http://peer:8080,...] [-advertise http://host:8090] \
 //	           [-gossip-interval 1s]
 //
 // Endpoints:
 //
-//	/v1/*                proxied to the owning backend (ring failover on retryable errors)
-//	GET /healthz         200 while at least one backend is routable
-//	GET /metrics         router + per-backend stats; Prometheus text under Accept: text/plain
-//	PUT /admin/topology  {"backends": [...]} — replace the fleet and warm-transfer hot keys
-//	POST /gossip         membership exchange (only with -join)
+//	/v1/*                    proxied to the owning backend (ring failover on retryable errors)
+//	GET /healthz             200 while at least one backend is routable; includes SLO burn rates
+//	GET /metrics             router + per-backend stats; Prometheus text under Accept: text/plain
+//	PUT /admin/topology      {"backends": [...]} — replace the fleet and warm-transfer hot keys
+//	GET /debug/traces        the router's own sampled traces
+//	GET /debug/fleet-traces  cross-process stitched traces (scrapes every backend's ring)
+//	GET /debug/events        structured event journal (breaker, quarantine, topology)
+//	POST /gossip             membership exchange (only with -join)
+//
+// With -debug-addr set, a second listener (keep it loopback-only)
+// additionally serves net/http/pprof under /debug/pprof/ plus the same
+// debug, metrics and health endpoints — parity with linesearchd.
 //
 // With -join, the router participates in the fleet's gossip as an
 // observer: it holds no keys, but every membership change rebuilds its
@@ -48,6 +57,8 @@ import (
 
 	"linesearch/internal/cluster"
 	"linesearch/internal/membership"
+	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 func main() {
@@ -79,6 +90,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "circuit-breaker open duration after consecutive failures")
 	logFormat := fs.String("log", "text", "log format: text or json")
 	quiet := fs.Bool("quiet", false, "suppress info logs (errors still logged)")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of proxied requests traced into /debug/traces (1 = all, 0 = default, negative disables)")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
+	debugAddr := fs.String("debug-addr", "", "optional pprof/debug listen address (empty disables; keep it loopback-only, e.g. 127.0.0.1:6061)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of routed requests that must be good (neither 5xx nor over the latency budget)")
+	sloLatencyBudget := fs.Duration("slo-latency-budget", 250*time.Millisecond, "per-request latency budget the SLO slow-rate burn is measured against")
 	join := fs.String("join", "", "comma-separated seed URLs of fleet members to gossip with (empty = static -backends topology)")
 	advertise := fs.String("advertise", "", "base URL fleet members reach this router at (required with -join)")
 	gossipInterval := fs.Duration("gossip-interval", time.Second, "membership probe cadence")
@@ -128,16 +144,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(initial) == 0 {
 		initial = seeds
 	}
+	tracer := telemetry.New(telemetry.Config{
+		SampleRate: *traceSample,
+		Capacity:   *traceBuffer,
+	})
+	jrnl := journal.New(0)
 	router, err := cluster.New(cluster.Config{
-		Backends:        initial,
-		VNodes:          *vnodes,
-		Attempts:        *attempts,
-		HealthInterval:  *healthInterval,
-		QuarantineVotes: *quarantineVotes,
-		SlowThreshold:   *slowThreshold,
-		WarmKeys:        *warmKeys,
-		BreakerCooldown: *breakerCooldown,
-		Logger:          logger,
+		Backends:         initial,
+		VNodes:           *vnodes,
+		Attempts:         *attempts,
+		HealthInterval:   *healthInterval,
+		QuarantineVotes:  *quarantineVotes,
+		SlowThreshold:    *slowThreshold,
+		WarmKeys:         *warmKeys,
+		BreakerCooldown:  *breakerCooldown,
+		Logger:           logger,
+		Tracer:           tracer,
+		Journal:          jrnl,
+		SLOObjective:     *sloObjective,
+		SLOLatencyBudget: *sloLatencyBudget,
 	})
 	if err != nil {
 		return err
@@ -156,6 +181,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Transport: membership.NewHTTPTransport(&http.Client{Timeout: 2 * time.Second}),
 			Interval:  *gossipInterval,
 			Logger:    logger,
+			Journal:   jrnl,
 			OnChange: func(v membership.View) {
 				shards := v.ShardURLs()
 				if len(shards) == 0 {
@@ -195,6 +221,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// The debug surface (pprof, traces, fleet-traces, events) binds
+	// separately and only on request — parity with linesearchd's
+	// -debug-addr: profiling handlers can stall the process, so they
+	// never share the serving port and are off by default.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "linerouter: debug listening on %s\n", debugLn.Addr())
+		logger.Warn("debug/pprof surface enabled; do not expose it publicly",
+			"addr", debugLn.Addr().String())
+		debugSrv = &http.Server{
+			Handler:           router.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		// Debug-listener failures (beyond clean shutdown) are logged, not
+		// fatal: losing pprof must not take the proxy down.
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -204,6 +258,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Info("shutting down", "grace", shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("debug shutdown", "err", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -28,6 +28,7 @@
 //	GET  /healthz
 //	GET  /metrics                  JSON by default; Prometheus text under Accept: text/plain
 //	GET  /debug/traces             recent/slowest sampled request traces
+//	GET  /debug/events             structured event journal (membership, breaker, hints, quarantine)
 //
 // With -join set, the daemon gossips SWIM-style membership with its
 // peers (POST /gossip), streams every fsynced sweep checkpoint to the
@@ -70,6 +71,7 @@ import (
 	"linesearch/internal/service"
 	"linesearch/internal/sweep"
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 func main() {
@@ -157,6 +159,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SampleRate: *traceSample,
 		Capacity:   *traceBuffer,
 	})
+	// One journal shared by the service, sweep engine, membership and
+	// replicator, so /debug/events is the process-wide transition log.
+	jrnl := journal.New(0)
 	// Replica store and replicator come first: the sweep manager's
 	// checkpoint hook streams into them.
 	var store *sweep.ReplicaStore
@@ -171,9 +176,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *join != "" && store != nil {
 		homeDir := *sweepDir
 		replicator, err = cluster.NewReplicator(cluster.ReplicatorConfig{
-			Self:   *advertise,
-			RF:     *replicationRF,
-			Logger: logger,
+			Self:    *advertise,
+			RF:      *replicationRF,
+			Logger:  logger,
+			Tracer:  tracer,
+			Journal: jrnl,
 			LocalDigest: func() map[string]sweep.CheckpointInfo {
 				out := sweep.ScanCheckpoints(homeDir)
 				for id, info := range store.Digest() {
@@ -201,6 +208,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxActiveJobs: *sweepJobs,
 		Logger:        logger,
 		Tracer:        tracer,
+		Journal:       jrnl,
 	}
 	if store != nil {
 		sweepCfg.ReplicaDir = store.Dir()
@@ -223,6 +231,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RequestTimeout: requestTimeout,
 		Logger:         logger,
 		Tracer:         tracer,
+		Journal:        jrnl,
 		Sweeps:         sweeps,
 		SnapshotDir:    *snapshotDir,
 		Replicas:       store,
@@ -242,6 +251,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Transport: membership.NewHTTPTransport(&http.Client{Timeout: 2 * time.Second}),
 			Interval:  *gossipInterval,
 			Logger:    logger,
+			Journal:   jrnl,
 			OnChange: func(v membership.View) {
 				if replicator != nil {
 					replicator.SetMembers(v.ShardURLs())

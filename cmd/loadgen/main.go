@@ -12,9 +12,16 @@
 //	        [-qps 200]                          open loop: fixed arrival rate
 //	        [-keys 500] [-zipf-s 1.2] [-seed 1]
 //	        [-p99-budget testdata/p99_budget.json]
+//	        [-slo-gate] [-slo-max-burn 1.0]
 //
 // With -p99-budget, the run is a gate: it exits non-zero when the
 // observed client p99 or error rate exceeds the checked-in budget.
+//
+// With -slo-gate, loadgen reads the router's own SLO burn-rate gauges
+// (linerouter_slo_error_burn_rate / linerouter_slo_latency_burn_rate)
+// back from /metrics after the run and exits non-zero when any window
+// burns faster than -slo-max-burn — the server-side verdict on the
+// load just generated, complementing the client-side -p99-budget.
 package main
 
 import (
@@ -53,6 +60,8 @@ type config struct {
 	zipfS       float64 // zipf exponent; larger = hotter head
 	seed        int64
 	budgetPath  string
+	sloGate     bool
+	sloMaxBurn  float64
 	client      *http.Client
 }
 
@@ -70,6 +79,10 @@ type report struct {
 	ServerP50  float64 `json:"server_p50_ms,omitempty"`
 	ServerP99  float64 `json:"server_p99_ms,omitempty"`
 	ServerNote string  `json:"server_note,omitempty"`
+	// SLOBurn is the router's burn-rate read-back (family -> window ->
+	// burn), present only with -slo-gate.
+	SLOBurn map[string]map[string]float64 `json:"slo_burn,omitempty"`
+	SLONote string                        `json:"slo_note,omitempty"`
 }
 
 // budget is the checked-in gate for smoke runs: the worst acceptable
@@ -90,6 +103,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "zipf exponent (>1; larger skews hotter)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed: same seed, same key sequence")
 	fs.StringVar(&cfg.budgetPath, "p99-budget", "", "JSON budget file; exceeding it fails the run")
+	fs.BoolVar(&cfg.sloGate, "slo-gate", false, "read the router's SLO burn rates back after the run and fail when any exceeds -slo-max-burn")
+	fs.Float64Var(&cfg.sloMaxBurn, "slo-max-burn", 1.0, "worst acceptable burn rate per window (1.0 = burning exactly at the objective's allowed rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,8 +121,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if cfg.budgetPath != "" {
-		return gate(rep, cfg.budgetPath, out)
+		if err := gate(rep, cfg.budgetPath, out); err != nil {
+			return err
+		}
 	}
+	if cfg.sloGate {
+		return sloGate(rep, cfg.sloMaxBurn, out)
+	}
+	return nil
+}
+
+// sloGate fails the run when any burn-rate window read back from the
+// router exceeds maxBurn. A target without the gauges (not a
+// linerouter) fails too: asking for the gate against a backend that
+// cannot answer it should be loud, not silently green.
+func sloGate(rep report, maxBurn float64, out io.Writer) error {
+	if rep.SLONote != "" {
+		return fmt.Errorf("slo gate: %s", rep.SLONote)
+	}
+	if len(rep.SLOBurn) == 0 {
+		return fmt.Errorf("slo gate: target exposes no linerouter_slo_*_burn_rate gauges (is it a linerouter?)")
+	}
+	worst, worstAt := 0.0, "n/a"
+	for fam, wins := range rep.SLOBurn {
+		for win, burn := range wins {
+			if burn > worst {
+				worst, worstAt = burn, fmt.Sprintf("%s{window=%q}", fam, win)
+			}
+			if burn > maxBurn {
+				return fmt.Errorf("slo gate: %s{window=%q} burn %.3f exceeds %.3f", fam, win, burn, maxBurn)
+			}
+		}
+	}
+	fmt.Fprintf(out, "loadgen: slo gate passed (worst burn %.3f at %s, limit %.3f)\n", worst, worstAt, maxBurn)
 	return nil
 }
 
@@ -252,6 +298,13 @@ func execute(ctx context.Context, cfg config) (report, error) {
 	} else {
 		rep.ServerP50 = p50 * 1000
 		rep.ServerP99 = p99 * 1000
+	}
+	if cfg.sloGate {
+		if burn, err := sloBurnRates(scrapeCtx, cfg.client, cfg.target); err != nil {
+			rep.SLONote = "burn-rate read-back failed: " + err.Error()
+		} else {
+			rep.SLOBurn = burn
+		}
 	}
 	return rep, nil
 }

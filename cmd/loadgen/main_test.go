@@ -149,6 +149,7 @@ func TestClusterSmoke(t *testing.T) {
 		keys:        100,
 		zipfS:       1.2,
 		seed:        1,
+		sloGate:     true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -165,6 +166,10 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if rep.ServerP99 <= 0 {
 		t.Fatalf("server p99 = %v, want a positive read-back", rep.ServerP99)
+	}
+	// A healthy low-rate run must also pass the router's own SLO verdict.
+	if err := sloGate(rep, 1.0, io.Discard); err != nil {
+		t.Fatalf("smoke run failed the SLO gate: %v (burn: %v)", err, rep.SLOBurn)
 	}
 }
 

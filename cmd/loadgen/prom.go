@@ -102,7 +102,11 @@ func parseBuckets(r io.Reader, families []string) ([]bucket, error) {
 }
 
 // parseBucketLine extracts the le label and sample value from one
-// `<name>_bucket{...le="0.005"...} 42` line.
+// `<name>_bucket{...le="0.005"...} 42` line. Lines from scrapers we
+// do not control may carry a trailing timestamp or an OpenMetrics
+// exemplar (`... 42 # {trace_id="..."} 0.003 1700000000`), so the
+// value is the first token after the label set — never the last token
+// on the line.
 func parseBucketLine(line string) (le float64, count int64, ok bool) {
 	li := strings.Index(line, `le="`)
 	if li < 0 {
@@ -122,15 +126,138 @@ func parseBucketLine(line string) (le float64, count int64, ok bool) {
 			return 0, 0, false
 		}
 	}
-	sp := strings.LastIndexByte(line, ' ')
-	if sp < 0 {
+	val, ok := sampleValue(line)
+	if !ok {
 		return 0, 0, false
 	}
-	count, err := strconv.ParseInt(line[sp+1:], 10, 64)
+	// Counters may be rendered as floats (e.g. "42.0" or "1e3") by
+	// other exporters; accept them as long as they are whole-valued.
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f != math.Trunc(f) {
+		return 0, 0, false
+	}
+	return le, int64(f), true
+}
+
+// sampleValue returns the value token of one exposition sample line:
+// the first whitespace-separated token after the metric name and its
+// (optional) label set. Trailing timestamps and exemplar annotations
+// are ignored. Label values may themselves contain '}' or spaces, so
+// the end of the label set is found by walking the quoted strings
+// rather than searching for the first closing brace.
+func sampleValue(line string) (string, bool) {
+	after := line
+	if bi := strings.IndexByte(line, '{'); bi >= 0 {
+		end, ok := labelSetEnd(line, bi)
+		if !ok {
+			return "", false
+		}
+		after = line[end+1:]
+	} else if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		after = line[sp:]
+	} else {
+		return "", false
+	}
+	fields := strings.Fields(after)
+	if len(fields) == 0 || fields[0] == "#" {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// labelSetEnd returns the index of the '}' closing the label set that
+// opens at line[open], honoring quoted label values with escaped
+// quotes (`le="0.005"`, `path="/odd\"name"`).
+func labelSetEnd(line string, open int) (int, bool) {
+	inQuotes := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuotes {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case '}':
+			if !inQuotes {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// sloBurnFamilies are the router gauges the -slo-gate reads back.
+var sloBurnFamilies = []string{
+	"linerouter_slo_error_burn_rate",
+	"linerouter_slo_latency_burn_rate",
+}
+
+// sloBurnRates scrapes the target's exposition for the SLO burn-rate
+// gauges and returns them keyed family -> window label -> burn. A
+// target that is not a linerouter (no such family) returns empty maps,
+// not an error: the gate reports that distinctly.
+func sloBurnRates(ctx context.Context, client *http.Client, target string) (map[string]map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics?format=prometheus", nil)
 	if err != nil {
-		return 0, 0, false
+		return nil, err
 	}
-	return le, count, true
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics returned %s", resp.Status)
+	}
+	return parseWindowGauges(resp.Body, sloBurnFamilies)
+}
+
+// parseWindowGauges scans an exposition for the given gauge families,
+// collecting each sample's window label and value. Unknown families,
+// comments, timestamps and exemplars are skipped — same hardening as
+// parseBuckets.
+func parseWindowGauges(r io.Reader, families []string) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64, len(families))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, fam := range families {
+			if !strings.HasPrefix(line, fam+"{") {
+				continue
+			}
+			wi := strings.Index(line, `window="`)
+			if wi < 0 {
+				continue
+			}
+			rest := line[wi+8:]
+			qi := strings.IndexByte(rest, '"')
+			if qi < 0 {
+				continue
+			}
+			window := rest[:qi]
+			val, ok := sampleValue(line)
+			if !ok {
+				continue
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(f) {
+				continue
+			}
+			if out[fam] == nil {
+				out[fam] = make(map[string]float64)
+			}
+			out[fam][window] = f
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // histPercentile estimates the q-th percentile from cumulative buckets

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // backend is one linesearchd process behind the router: its base URL,
@@ -39,8 +40,10 @@ type backend struct {
 }
 
 // newBackend parses a base URL into a backend. Only the scheme and
-// host are kept: the router joins request paths onto it.
-func newBackend(raw string, threshold int, cooldown time.Duration) (*backend, error) {
+// host are kept: the router joins request paths onto it. The breaker
+// records its open/half-open/close transitions into jrnl under the
+// backend's name.
+func newBackend(raw string, threshold int, cooldown time.Duration, jrnl *journal.Journal) (*backend, error) {
 	u, err := url.Parse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: backend url %q: %w", raw, err)
@@ -51,7 +54,7 @@ func newBackend(raw string, threshold int, cooldown time.Duration) (*backend, er
 	return &backend{
 		name:    u.Host,
 		base:    &url.URL{Scheme: u.Scheme, Host: u.Host},
-		breaker: newBreaker(threshold, cooldown),
+		breaker: newBreaker(threshold, cooldown, u.Host, jrnl),
 		hist:    telemetry.NewHistogram(),
 	}, nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestBreakerOpensAfterThreshold(t *testing.T) {
-	b := newBreaker(3, 2*time.Second)
+	b := newBreaker(3, 2*time.Second, "b:1", nil)
 	now := time.Unix(1000, 0)
 	for i := 0; i < 2; i++ {
 		b.failure(now, 0)
@@ -28,7 +28,7 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 }
 
 func TestBreakerSuccessResets(t *testing.T) {
-	b := newBreaker(3, time.Second)
+	b := newBreaker(3, time.Second, "b:1", nil)
 	now := time.Unix(1000, 0)
 	b.failure(now, 0)
 	b.failure(now, 0)
@@ -44,7 +44,7 @@ func TestBreakerSuccessResets(t *testing.T) {
 // Retry-After opens the breaker for exactly that long, on the first
 // failure, regardless of the threshold.
 func TestBreakerRetryAfter(t *testing.T) {
-	b := newBreaker(3, time.Second)
+	b := newBreaker(3, time.Second, "b:1", nil)
 	now := time.Unix(1000, 0)
 	b.failure(now, 5*time.Second)
 	if b.allow(now.Add(4 * time.Second)) {
@@ -59,7 +59,7 @@ func TestBreakerRetryAfter(t *testing.T) {
 // cooldown requests flow again, and the first failure re-opens for a
 // full cooldown while a success closes fully.
 func TestBreakerHalfOpenReopens(t *testing.T) {
-	b := newBreaker(2, time.Second)
+	b := newBreaker(2, time.Second, "b:1", nil)
 	now := time.Unix(1000, 0)
 	b.failure(now, 0)
 	b.failure(now, 0)
@@ -114,7 +114,7 @@ func TestBreakerHalfOpenProbeRacesSuccess(t *testing.T) {
 	now := time.Unix(1000, 0)
 	halfOpen := now.Add(time.Second)
 
-	b := newBreaker(2, time.Second)
+	b := newBreaker(2, time.Second, "b:1", nil)
 	b.failure(now, 0)
 	b.failure(now, 0)
 	b.failure(halfOpen, 0) // probe fails...
@@ -127,7 +127,7 @@ func TestBreakerHalfOpenProbeRacesSuccess(t *testing.T) {
 		t.Fatal("the close did not reset the consecutive count: one failure re-opened")
 	}
 
-	b = newBreaker(2, time.Second)
+	b = newBreaker(2, time.Second, "b:1", nil)
 	b.failure(now, 0)
 	b.failure(now, 0)
 	b.success()            // success first...
@@ -139,7 +139,7 @@ func TestBreakerHalfOpenProbeRacesSuccess(t *testing.T) {
 	// Then genuinely concurrent, for the race detector and the
 	// two-legal-states invariant.
 	for i := 0; i < 100; i++ {
-		b := newBreaker(2, time.Second)
+		b := newBreaker(2, time.Second, "b:1", nil)
 		b.failure(now, 0)
 		b.failure(now, 0)
 		var wg sync.WaitGroup
@@ -174,7 +174,7 @@ func TestBreakerRetryAfterExactlyAtCap(t *testing.T) {
 		t.Fatalf("parseRetryAfter(4) = %v, want 4s", got)
 	}
 
-	b := newBreaker(3, time.Second)
+	b := newBreaker(3, time.Second, "b:1", nil)
 	now := time.Unix(1000, 0)
 	b.failure(now, parseRetryAfter("5", cap))
 	if b.allow(now.Add(cap - time.Nanosecond)) {

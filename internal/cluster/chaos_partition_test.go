@@ -32,7 +32,46 @@ import (
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/service"
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry/journal"
 )
+
+// nodeEvents fetches one node's /debug/events, optionally filtered by
+// kind, through the same HTTP surface an operator (or the CI artifact
+// dump) uses.
+func nodeEvents(t *testing.T, n *replicaNode, kind string) []journal.Event {
+	t.Helper()
+	url := n.srv.URL + "/debug/events"
+	if kind != "" {
+		url += "?kind=" + kind
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET /debug/events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /debug/events: %s: %s", resp.Status, body)
+	}
+	var out struct {
+		Events []journal.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode events: %v", err)
+	}
+	return out.Events
+}
+
+// firstSeq returns the lowest Seq among events (0 when empty).
+func firstSeq(events []journal.Event) uint64 {
+	var min uint64
+	for _, e := range events {
+		if min == 0 || e.Seq < min {
+			min = e.Seq
+		}
+	}
+	return min
+}
 
 // chaosTweak makes a replica node's sweeps killable mid-flight: every
 // completed cell is checkpointed (and therefore replicated) before the
@@ -281,6 +320,29 @@ func TestPartitionSplitBrainReplicasConverge(t *testing.T) {
 	if st := b.rep.Stats(); st.HintsPending != 0 {
 		t.Errorf("b still has %d hints pending after heal", st.HintsPending)
 	}
+
+	// The journal tells the same story, on both sides: hints spooled
+	// while the split held, then the heal drained them — every replay
+	// or anti-entropy repair strictly after the first spool.
+	for name, n := range map[string]*replicaNode{"a": a, "b": b} {
+		spooled := nodeEvents(t, n, "hint_spool")
+		if len(spooled) == 0 {
+			t.Errorf("%s journalled no hint_spool events during the split", name)
+			continue
+		}
+		healed := append(nodeEvents(t, n, "hint_replay"), nodeEvents(t, n, "anti_entropy_repair")...)
+		if len(healed) == 0 {
+			t.Errorf("%s journalled no replay/repair events after the heal", name)
+			continue
+		}
+		spoolStart := firstSeq(spooled)
+		for _, e := range healed {
+			if e.Seq <= spoolStart {
+				t.Errorf("%s: %s event seq %d precedes the first hint_spool seq %d",
+					name, e.Kind, e.Seq, spoolStart)
+			}
+		}
+	}
 }
 
 // TestPartitionAsymmetricReplication arms the link in one direction
@@ -325,6 +387,37 @@ func TestPartitionAsymmetricReplication(t *testing.T) {
 	}
 	if st := a.rep.Stats(); st.HintsPending != 0 {
 		t.Errorf("hints still pending after replay: %+v", st)
+	}
+
+	// Journal sequence on the partitioned side: spool during the
+	// one-way cut, replay for the same job after the heal. The healthy
+	// side never spooled.
+	spooled := nodeEvents(t, a, "hint_spool")
+	replayed := nodeEvents(t, a, "hint_replay")
+	if len(spooled) == 0 || len(replayed) == 0 {
+		t.Fatalf("a's journal missing the handoff story: %d spooled, %d replayed", len(spooled), len(replayed))
+	}
+	wantDetail := "job " + id1
+	var sawSpool, sawReplay bool
+	for _, e := range spooled {
+		if e.Detail == wantDetail {
+			sawSpool = true
+		}
+	}
+	for _, e := range replayed {
+		if e.Detail == wantDetail {
+			sawReplay = true
+			if e.Seq <= firstSeq(spooled) {
+				t.Errorf("replay seq %d not after first spool seq %d", e.Seq, firstSeq(spooled))
+			}
+		}
+	}
+	if !sawSpool || !sawReplay {
+		t.Errorf("journal does not name job %s in both spool and replay: spool=%v replay=%v",
+			id1, sawSpool, sawReplay)
+	}
+	if got := nodeEvents(t, b, "hint_spool"); len(got) != 0 {
+		t.Errorf("healthy side journalled %d hint_spool events", len(got))
 	}
 }
 

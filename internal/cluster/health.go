@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
+
+	"linesearch/internal/telemetry/journal"
 )
 
 // healthLoop probes every backend on the configured cadence until
@@ -59,6 +62,7 @@ func (r *Router) probe(b *backend) {
 	if ok {
 		if b.down.Swap(false) {
 			r.logger.Info("backend recovered", "backend", b.name)
+			r.journal.Record(context.Background(), journal.QuarantineExit, b.name, "healthy vote")
 		}
 		b.votes.Store(0)
 		return
@@ -68,6 +72,8 @@ func (r *Router) probe(b *backend) {
 		b.quarantines.Add(1)
 		r.logger.Warn("backend quarantined",
 			"backend", b.name, "votes", b.votes.Load())
+		r.journal.Record(context.Background(), journal.QuarantineEnter, b.name,
+			fmt.Sprintf("%d failed votes", b.votes.Load()))
 	}
 }
 

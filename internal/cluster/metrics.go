@@ -38,6 +38,15 @@ type Stats struct {
 	WarmRuns     int64 `json:"warm_transfer_runs"`
 	WarmKeys     int64 `json:"warm_transfer_keys"`
 	WarmErrors   int64 `json:"warm_transfer_errors"`
+	// SLO is the multi-window burn-rate reading over routed requests.
+	SLO SLOStats `json:"slo"`
+	// JournalEvents counts recorded events per kind — every kind is
+	// present, zero or not, so the Prometheus exposition registers a
+	// counter per kind by construction.
+	JournalEvents map[string]int64 `json:"journal_events"`
+	// Tracer is the router's own trace-ring health (sampling, drops,
+	// truncation).
+	Tracer telemetry.TracerStats `json:"tracer"`
 }
 
 // Stats snapshots the router.
@@ -51,14 +60,17 @@ func (r *Router) Stats() Stats {
 	sort.Slice(backends, func(i, j int) bool { return backends[i].name < backends[j].name })
 	now := time.Now()
 	st := Stats{
-		Backends:     make([]BackendStats, 0, len(backends)),
-		Proxied:      r.proxied.Load(),
-		Retries:      r.retries.Load(),
-		ReplicaReads: r.replicaReads.Load(),
-		ProxyErrors:  r.proxyErrs.Load(),
-		WarmRuns:     r.warmRuns.Load(),
-		WarmKeys:     r.warmKeys.Load(),
-		WarmErrors:   r.warmErrors.Load(),
+		Backends:      make([]BackendStats, 0, len(backends)),
+		Proxied:       r.proxied.Load(),
+		Retries:       r.retries.Load(),
+		ReplicaReads:  r.replicaReads.Load(),
+		ProxyErrors:   r.proxyErrs.Load(),
+		WarmRuns:      r.warmRuns.Load(),
+		WarmKeys:      r.warmKeys.Load(),
+		WarmErrors:    r.warmErrors.Load(),
+		SLO:           r.slo.snapshot(),
+		JournalEvents: r.journal.Counts(),
+		Tracer:        r.tracer.Stats(),
 	}
 	for _, b := range backends {
 		st.Backends = append(st.Backends, BackendStats{
@@ -97,6 +109,7 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		"status":             http.StatusText(status),
 		"backends":           len(st.Backends),
 		"backends_available": avail,
+		"slo":                st.SLO,
 	})
 }
 
@@ -178,6 +191,38 @@ func writePrometheus(w io.Writer, st Stats) {
 	pf("linerouter_warm_transfer_keys_total %d\n", st.WarmKeys)
 	family("linerouter_warm_transfer_errors_total", "counter", "Warm-transfer export or import failures.")
 	pf("linerouter_warm_transfer_errors_total %d\n", st.WarmErrors)
+
+	family("linerouter_slo_objective", "gauge", "Fraction of routed requests that must be good.")
+	pf("linerouter_slo_objective %s\n", strconv.FormatFloat(st.SLO.Objective, 'g', -1, 64))
+	family("linerouter_slo_latency_budget_seconds", "gauge", "Per-request latency budget the slow-rate burn is measured against.")
+	pf("linerouter_slo_latency_budget_seconds %s\n", strconv.FormatFloat(st.SLO.LatencyBudgetSeconds, 'g', -1, 64))
+	family("linerouter_slo_window_requests", "gauge", "Routed requests observed in each burn window.")
+	for _, win := range st.SLO.Windows {
+		pf("linerouter_slo_window_requests{window=%q} %d\n", win.Window, win.Requests)
+	}
+	family("linerouter_slo_error_burn_rate", "gauge", "Error-budget burn rate per window (1.0 = burning exactly at the allowed rate).")
+	for _, win := range st.SLO.Windows {
+		pf("linerouter_slo_error_burn_rate{window=%q} %s\n", win.Window, strconv.FormatFloat(win.ErrorBurnRate, 'g', -1, 64))
+	}
+	family("linerouter_slo_latency_burn_rate", "gauge", "Latency-budget burn rate per window.")
+	for _, win := range st.SLO.Windows {
+		pf("linerouter_slo_latency_burn_rate{window=%q} %s\n", win.Window, strconv.FormatFloat(win.LatencyBurnRate, 'g', -1, 64))
+	}
+
+	family("linerouter_journal_events_total", "counter", "Structured journal events recorded, by kind.")
+	kinds := make([]string, 0, len(st.JournalEvents))
+	for kind := range st.JournalEvents {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		pf("linerouter_journal_events_total{kind=%q} %d\n", kind, st.JournalEvents[kind])
+	}
+
+	family("linerouter_tracer_dropped_traces_total", "counter", "Completed traces evicted from the ring before being read.")
+	pf("linerouter_tracer_dropped_traces_total %d\n", st.Tracer.Evicted)
+	family("linerouter_tracer_truncated_traces_total", "counter", "Traces that completed with at least one span refused by the per-trace cap.")
+	pf("linerouter_tracer_truncated_traces_total %d\n", st.Tracer.TruncatedTraces)
 
 	family("linerouter_backend_up", "gauge", "Backend availability (1 = routable).")
 	for _, b := range st.Backends {

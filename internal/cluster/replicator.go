@@ -16,6 +16,8 @@ import (
 
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // SweepsRingKey is the ring key the whole sweep API is pinned to —
@@ -57,6 +59,13 @@ type ReplicatorConfig struct {
 	// Logger receives structured replication logs (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// Tracer, when set, roots a trace on each Replicate/AntiEntropy
+	// call that arrives with an untraced context, so replication legs
+	// show up in fleet-trace stitching even when driven by timers.
+	Tracer *telemetry.Tracer
+	// Journal, when set, receives hint and anti-entropy events
+	// (nil-safe: a nil journal records nothing).
+	Journal *journal.Journal
 
 	// LocalDigest summarizes every checkpoint this backend holds (home
 	// and replica), keyed by job ID — this side of an anti-entropy
@@ -218,6 +227,14 @@ func (r *Replicator) Owners() []string {
 // replayed while it is known reachable. Returns the number of live
 // replicas that accepted the checkpoint.
 func (r *Replicator) Replicate(ctx context.Context, cp sweep.Checkpoint) int {
+	if telemetry.SpanFrom(ctx) == nil && r.cfg.Tracer != nil {
+		var root *telemetry.Span
+		ctx, root = r.cfg.Tracer.StartRequest(ctx, "replicate", "")
+		if root != nil {
+			root.SetStr("job", cp.ID)
+			defer root.End()
+		}
+	}
 	selfName, _ := memberName(r.cfg.Self)
 	r.mu.Lock()
 	owners := r.ring.Owners(SweepsRingKey, r.cfg.RF)
@@ -236,7 +253,7 @@ func (r *Replicator) Replicate(ctx context.Context, cp sweep.Checkpoint) int {
 			r.failed.Add(1)
 			r.logger.Warn("checkpoint replication failed; hinting",
 				"job", cp.ID, "peer", target.name, "err", err)
-			r.hint(target.name, cp)
+			r.hint(ctx, target.name, cp)
 			continue
 		}
 		r.replicated.Add(1)
@@ -282,6 +299,9 @@ func (r *Replicator) push(ctx context.Context, baseURL string, cp sweep.Checkpoi
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err
@@ -296,26 +316,31 @@ func (r *Replicator) push(ctx context.Context, baseURL string, cp sweep.Checkpoi
 
 // hint spools a checkpoint for a currently unreachable peer,
 // latest-wins per job, bounded by HintLimit per peer.
-func (r *Replicator) hint(peer string, cp sweep.Checkpoint) {
+func (r *Replicator) hint(ctx context.Context, peer string, cp sweep.Checkpoint) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	spool, ok := r.hints[peer]
 	if !ok {
 		spool = hintSpool{byJob: make(map[string]sweep.Checkpoint)}
 	}
+	var dropped string
 	if _, held := spool.byJob[cp.ID]; !held {
 		if len(spool.order) >= r.cfg.HintLimit {
-			oldest := spool.order[0]
+			dropped = spool.order[0]
 			spool.order = spool.order[1:]
-			delete(spool.byJob, oldest)
+			delete(spool.byJob, dropped)
 			r.hintsDropped.Add(1)
-			r.logger.Warn("hint spool full; dropped oldest", "peer", peer, "job", oldest)
 		}
 		spool.order = append(spool.order, cp.ID)
 	}
 	spool.byJob[cp.ID] = cp
 	r.hints[peer] = spool
 	r.hinted.Add(1)
+	r.mu.Unlock()
+	if dropped != "" {
+		r.logger.Warn("hint spool full; dropped oldest", "peer", peer, "job", dropped)
+		r.cfg.Journal.Record(ctx, journal.HintDrop, peer, "spool full, dropped job "+dropped)
+	}
+	r.cfg.Journal.Record(ctx, journal.HintSpool, peer, "job "+cp.ID)
 }
 
 // takeHints drains a peer's spool for replay.
@@ -341,10 +366,11 @@ func (r *Replicator) replayHints(ctx context.Context, peer, baseURL string) {
 	for _, cp := range r.takeHints(peer) {
 		if err := r.push(ctx, baseURL, cp); err != nil {
 			r.logger.Warn("hint replay failed; re-spooling", "peer", peer, "job", cp.ID, "err", err)
-			r.hint(peer, cp)
+			r.hint(ctx, peer, cp)
 			continue
 		}
 		r.hintsReplayed.Add(1)
+		r.cfg.Journal.Record(ctx, journal.HintReplay, peer, "job "+cp.ID)
 	}
 }
 
@@ -362,6 +388,9 @@ func (r *Replicator) peerDigest(ctx context.Context, baseURL string) (map[string
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/replica/digest", nil)
 	if err != nil {
 		return nil, err
+	}
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
@@ -401,6 +430,9 @@ func (r *Replicator) fetch(ctx context.Context, baseURL, id string) (*sweep.Chec
 	if err != nil {
 		return nil, err
 	}
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -431,6 +463,13 @@ func (r *Replicator) fetch(ctx context.Context, baseURL, id string) (*sweep.Chec
 // pulled). Divergence after a healed partition converges in one pass
 // from each side.
 func (r *Replicator) AntiEntropy(ctx context.Context) int {
+	if telemetry.SpanFrom(ctx) == nil && r.cfg.Tracer != nil {
+		var root *telemetry.Span
+		ctx, root = r.cfg.Tracer.StartRequest(ctx, "anti-entropy", "")
+		if root != nil {
+			defer root.End()
+		}
+	}
 	selfName, _ := memberName(r.cfg.Self)
 	r.mu.Lock()
 	owners := r.ring.Owners(SweepsRingKey, r.cfg.RF)
@@ -469,6 +508,7 @@ func (r *Replicator) AntiEntropy(ctx context.Context) int {
 			}
 			r.repairsPushed.Add(1)
 			repairs++
+			r.cfg.Journal.Record(ctx, journal.AntiEntropyRepair, target.name, "pushed job "+id)
 		}
 		for id, held := range theirs {
 			mine, ok := ours[id]
@@ -485,6 +525,7 @@ func (r *Replicator) AntiEntropy(ctx context.Context) int {
 			}
 			r.repairsPulled.Add(1)
 			repairs++
+			r.cfg.Journal.Record(ctx, journal.AntiEntropyRepair, target.name, "pulled job "+id)
 		}
 	}
 	r.aeRuns.Add(1)

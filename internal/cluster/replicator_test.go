@@ -4,13 +4,44 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/service"
 	"linesearch/internal/sweep"
+	"linesearch/internal/telemetry/journal"
 )
+
+// eventsDumpDirEnv names the directory a failed test dumps each node's
+// /debug/events JSON into. The chaos CI jobs set it and upload the
+// directory as an artifact, so a red partition run ships the journals
+// needed for the postmortem.
+const eventsDumpDirEnv = "LINESEARCH_EVENTS_DUMP_DIR"
+
+// dumpEvents writes n's event journal — rendered through the same
+// handler that serves /debug/events, so the artifact matches what an
+// operator would have curled — into dir.
+func dumpEvents(t *testing.T, dir string, n *replicaNode) {
+	rec := httptest.NewRecorder()
+	journal.Handler(n.jrnl)(rec, httptest.NewRequest(http.MethodGet, "/debug/events", nil))
+	host := strings.TrimPrefix(n.srv.URL, "http://")
+	name := strings.NewReplacer("/", "_", ":", "-").Replace(t.Name()+"-"+host) + ".json"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("events dump: %v", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, rec.Body.Bytes(), 0o644); err != nil {
+		t.Logf("events dump: %v", err)
+		return
+	}
+	t.Logf("events journal dumped to %s", path)
+}
 
 // replicaNode is one backend with a replica store and a replicator:
 // the full replication triangle in-process.
@@ -20,6 +51,7 @@ type replicaNode struct {
 	store *sweep.ReplicaStore
 	mgr   *sweep.Manager
 	rep   *Replicator
+	jrnl  *journal.Journal
 }
 
 func (n *replicaNode) close() {
@@ -51,12 +83,21 @@ func newReplicaNode(t *testing.T, tweaks ...func(*sweep.Config)) *replicaNode {
 	for _, tweak := range tweaks {
 		tweak(&sweepCfg)
 	}
+	n.jrnl = journal.New(0)
+	if dir := os.Getenv(eventsDumpDirEnv); dir != "" {
+		t.Cleanup(func() {
+			if t.Failed() {
+				dumpEvents(t, dir, n)
+			}
+		})
+	}
 	n.mgr = sweep.NewManager(sweepCfg)
-	n.svc = service.New(service.Config{Logger: logger, Sweeps: n.mgr, Replicas: n.store})
+	n.svc = service.New(service.Config{Logger: logger, Sweeps: n.mgr, Replicas: n.store, Journal: n.jrnl})
 	n.srv = httptest.NewServer(n.svc.Handler())
 	rep, err := NewReplicator(ReplicatorConfig{
-		Self:   n.srv.URL,
-		Logger: logger,
+		Self:    n.srv.URL,
+		Logger:  logger,
+		Journal: n.jrnl,
 		LocalDigest: func() map[string]sweep.CheckpointInfo {
 			out := sweep.ScanCheckpoints(home)
 			for id, info := range n.store.Digest() {
@@ -186,10 +227,10 @@ func TestReplicatorHintSpoolBounded(t *testing.T) {
 		}
 		return c
 	}
-	rep.hint("peer", cp("job-1", 1))
-	rep.hint("peer", cp("job-1", 2)) // latest-wins: still one entry
-	rep.hint("peer", cp("job-2", 1))
-	rep.hint("peer", cp("job-3", 1)) // evicts job-1
+	rep.hint(context.Background(), "peer", cp("job-1", 1))
+	rep.hint(context.Background(), "peer", cp("job-1", 2)) // latest-wins: still one entry
+	rep.hint(context.Background(), "peer", cp("job-2", 1))
+	rep.hint(context.Background(), "peer", cp("job-3", 1)) // evicts job-1
 	st := rep.Stats()
 	if st.HintsPending != 2 || st.HintsDropped != 1 {
 		t.Fatalf("spool = %+v, want 2 pending / 1 dropped", st)

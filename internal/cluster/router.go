@@ -18,6 +18,8 @@ import (
 
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/service"
+	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // Fault points in the proxy path. fpForward fires for every attempt;
@@ -79,15 +81,33 @@ type Config struct {
 	Logger *slog.Logger
 	// Client performs backend requests (default: 15s timeout).
 	Client *http.Client
+	// Tracer samples proxied requests into the router's own trace ring
+	// (scraped together with the backends' by /debug/fleet-traces).
+	// When nil, New creates one tracing every request with telemetry
+	// defaults; pass a configured tracer to set the rate and buffer.
+	Tracer *telemetry.Tracer
+	// Journal records breaker, quarantine and topology transitions for
+	// GET /debug/events. When nil, New creates one with journal
+	// defaults.
+	Journal *journal.Journal
+	// SLOObjective is the fraction of routed requests that must be
+	// good — neither a 5xx nor over the latency budget (default 0.99).
+	SLOObjective float64
+	// SLOLatencyBudget is the per-request latency budget the SLO's
+	// slow-rate burn is measured against (default 250ms).
+	SLOLatencyBudget time.Duration
 }
 
 // Router proxies /v1/* onto a fleet of linesearchd backends placed on
 // a consistent-hash ring by plan key. Create with New; safe for
 // concurrent use. Close stops the health loop.
 type Router struct {
-	cfg    Config
-	logger *slog.Logger
-	client *http.Client
+	cfg     Config
+	logger  *slog.Logger
+	client  *http.Client
+	tracer  *telemetry.Tracer
+	journal *journal.Journal
+	slo     *sloMonitor
 
 	mu       sync.RWMutex
 	ring     *Ring
@@ -99,9 +119,9 @@ type Router struct {
 	retries      atomic.Int64
 	replicaReads atomic.Int64
 	proxyErrs    atomic.Int64
-	warmRuns   atomic.Int64
-	warmKeys   atomic.Int64
-	warmErrors atomic.Int64
+	warmRuns     atomic.Int64
+	warmKeys     atomic.Int64
+	warmErrors   atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -144,16 +164,25 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 15 * time.Second}
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.New(telemetry.Config{})
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = journal.New(0)
+	}
 	r := &Router{
 		cfg:      cfg,
 		logger:   cfg.Logger,
 		client:   cfg.Client,
+		tracer:   cfg.Tracer,
+		journal:  cfg.Journal,
+		slo:      newSLOMonitor(cfg.SLOObjective, cfg.SLOLatencyBudget, nil),
 		ring:     NewRing(cfg.VNodes),
 		backends: make(map[string]*backend),
 		stop:     make(chan struct{}),
 	}
 	for _, raw := range cfg.Backends {
-		b, err := newBackend(raw, cfg.FailureThreshold, cfg.BreakerCooldown)
+		b, err := newBackend(raw, cfg.FailureThreshold, cfg.BreakerCooldown, cfg.Journal)
 		if err != nil {
 			return nil, err
 		}
@@ -183,15 +212,42 @@ func (r *Router) Backends() []string {
 	return r.ring.Members()
 }
 
-// Handler returns the router's route set: the /v1 proxy, its own
-// health and metrics, and the topology admin endpoint.
+// Handler returns the router's route set: the /v1 proxy (traced and
+// SLO-observed), its own health and metrics, the topology admin
+// endpoint, and the observability surface — the router's trace ring,
+// the fleet-wide stitched view, and the event journal.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/", r.proxy)
+	mux.HandleFunc("/v1/", r.handleProxy)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("PUT /admin/topology", r.handleTopology)
+	mux.HandleFunc("GET /debug/traces", r.handleDebugTraces)
+	mux.HandleFunc("GET /debug/fleet-traces", r.handleFleetTraces)
+	mux.Handle("GET /debug/events", journal.Handler(r.journal))
 	return mux
+}
+
+// handleProxy wraps the proxy walk with the per-request observability:
+// a root span (adopting any inbound traceparent, so client-initiated
+// traces stitch through the router) and the SLO monitor's view of the
+// final client-visible status and latency.
+func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	ctx, span := r.tracer.StartRequest(req.Context(), "proxy "+req.URL.Path, req.Header.Get("Traceparent"))
+	if span != nil {
+		span.SetStr("method", req.Method)
+		req = req.WithContext(ctx)
+	}
+	rec := &sloRecorder{ResponseWriter: w}
+	r.proxy(rec, req)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	span.SetInt("status", int64(status))
+	span.End()
+	r.slo.observe(status, time.Since(start))
 }
 
 // routingPolicy maps a request to its ring key and retry policy. An
@@ -432,6 +488,12 @@ func (r *Router) replicaRead(req *http.Request, key string) (*bufferedResponse, 
 		return nil, false
 	}
 	r.replicaReads.Add(1)
+	ctx, span := telemetry.StartSpan(req.Context(), "replica-read")
+	if span != nil {
+		span.SetStr("primary", owners[0].name)
+		defer span.End()
+		req = req.WithContext(ctx)
+	}
 
 	type result struct {
 		resp *bufferedResponse
@@ -458,9 +520,17 @@ func (r *Router) replicaRead(req *http.Request, key string) (*bufferedResponse, 
 
 // forward sends one attempt to one backend and buffers the whole
 // response. Transport errors and retryable statuses feed the breaker.
+// When the request is traced, the attempt gets its own child span and
+// the outbound copy carries a traceparent for this trace, so the
+// backend's root span stitches under the router's — the cross-process
+// propagation half of /debug/fleet-traces.
 func (r *Router) forward(req *http.Request, b *backend, body []byte) (*bufferedResponse, error) {
 	start := time.Now()
+	ctx, span := telemetry.StartSpan(req.Context(), "forward")
+	span.SetStr("backend", b.name)
+	defer span.End()
 	fail := func(err error) (*bufferedResponse, error) {
+		span.SetStr("error", err.Error())
 		b.failures.Add(1)
 		b.breaker.failure(time.Now(), 0)
 		return nil, err
@@ -473,7 +543,7 @@ func (r *Router) forward(req *http.Request, b *backend, body []byte) (*bufferedR
 		return fail(err)
 	}
 
-	out := req.Clone(req.Context())
+	out := req.Clone(ctx)
 	out.RequestURI = ""
 	out.URL = &url.URL{
 		Scheme:   b.base.Scheme,
@@ -492,6 +562,9 @@ func (r *Router) forward(req *http.Request, b *backend, body []byte) (*bufferedR
 	if host, _, err := net.SplitHostPort(req.RemoteAddr); err == nil {
 		out.Header.Set("X-Forwarded-For", host)
 	}
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		out.Header.Set("Traceparent", tp)
+	}
 
 	resp, err := r.client.Do(out)
 	if err != nil {
@@ -505,6 +578,7 @@ func (r *Router) forward(req *http.Request, b *backend, body []byte) (*bufferedR
 		// Died mid-body: the client saw nothing yet, so fail over.
 		return fail(fmt.Errorf("read backend response: %w", err))
 	}
+	span.SetInt("status", int64(resp.StatusCode))
 	br := &bufferedResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: data}
 	if retryableStatus(resp.StatusCode) {
 		b.failures.Add(1)

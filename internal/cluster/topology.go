@@ -2,13 +2,17 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 
 	"linesearch/internal/service"
+	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // SetTopology replaces the backend set. Surviving backends keep their
@@ -23,7 +27,7 @@ func (r *Router) SetTopology(backendURLs []string) error {
 	}
 	next := make(map[string]*backend, len(backendURLs))
 	for _, raw := range backendURLs {
-		b, err := newBackend(raw, r.cfg.FailureThreshold, r.cfg.BreakerCooldown)
+		b, err := newBackend(raw, r.cfg.FailureThreshold, r.cfg.BreakerCooldown, r.journal)
 		if err != nil {
 			return err
 		}
@@ -48,6 +52,8 @@ func (r *Router) SetTopology(backendURLs []string) error {
 	r.mu.Unlock()
 
 	r.logger.Info("topology updated", "backends", ring.Members())
+	r.journal.Record(context.Background(), journal.TopologyChange, "",
+		strings.Join(ring.Members(), ","))
 	if r.cfg.WarmKeys >= 0 {
 		r.warmTransfer(donors, ring, next)
 	}
@@ -62,10 +68,19 @@ func (r *Router) SetTopology(backendURLs []string) error {
 // being removed) just cost a failed export; their keys rebuild on
 // first miss like any cold key.
 func (r *Router) warmTransfer(donors []*backend, ring *Ring, current map[string]*backend) {
+	// The transfer gets a root trace of its own: each export and import
+	// leg carries its traceparent, so a reshape shows up at
+	// /debug/fleet-traces as one trace spanning the router and every
+	// donor/recipient shard it touched.
+	ctx, span := r.tracer.StartRequest(context.Background(), "warm-transfer", "")
+	if span != nil {
+		span.SetInt("donors", int64(len(donors)))
+		defer span.End()
+	}
 	r.warmRuns.Add(1)
 	grouped := make(map[string][]service.CacheSnapshotEntry)
 	for _, donor := range donors {
-		snap, err := r.fetchSnapshot(donor)
+		snap, err := r.fetchSnapshot(ctx, donor)
 		if err != nil {
 			r.warmErrors.Add(1)
 			r.logger.Warn("warm transfer: export failed", "donor", donor.name, "err", err)
@@ -85,7 +100,7 @@ func (r *Router) warmTransfer(donors []*backend, ring *Ring, current map[string]
 			continue
 		}
 		sub := service.NewCacheSnapshot(entries)
-		if err := r.pushSnapshot(b, sub); err != nil {
+		if err := r.pushSnapshot(ctx, b, sub); err != nil {
 			r.warmErrors.Add(1)
 			r.logger.Warn("warm transfer: import failed", "target", owner, "err", err)
 			continue
@@ -96,10 +111,22 @@ func (r *Router) warmTransfer(donors []*backend, ring *Ring, current map[string]
 }
 
 // fetchSnapshot exports the donor's hottest entries.
-func (r *Router) fetchSnapshot(b *backend) (service.CacheSnapshot, error) {
+func (r *Router) fetchSnapshot(ctx context.Context, b *backend) (service.CacheSnapshot, error) {
+	ctx, span := telemetry.StartSpan(ctx, "snapshot-export")
+	if span != nil {
+		span.SetStr("donor", b.name)
+		defer span.End()
+	}
 	var snap service.CacheSnapshot
 	url := fmt.Sprintf("%s/v1/cache/snapshot?limit=%d", b.base, r.cfg.WarmKeys)
-	resp, err := r.client.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return snap, err
+	}
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return snap, err
 	}
@@ -118,16 +145,25 @@ func (r *Router) fetchSnapshot(b *backend) (service.CacheSnapshot, error) {
 }
 
 // pushSnapshot imports a sealed sub-snapshot into its new owner.
-func (r *Router) pushSnapshot(b *backend, snap service.CacheSnapshot) error {
+func (r *Router) pushSnapshot(ctx context.Context, b *backend, snap service.CacheSnapshot) error {
+	ctx, span := telemetry.StartSpan(ctx, "snapshot-import")
+	if span != nil {
+		span.SetStr("target", b.name)
+		span.SetInt("entries", int64(len(snap.Entries)))
+		defer span.End()
+	}
 	blob, err := json.Marshal(snap)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, b.base.String()+"/v1/cache/snapshot", bytes.NewReader(blob))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.base.String()+"/v1/cache/snapshot", bytes.NewReader(blob))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err

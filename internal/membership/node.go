@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"linesearch/internal/telemetry/journal"
 )
 
 // Config tunes a Node. Self.Addr is required; everything else has a
@@ -48,6 +50,10 @@ type Config struct {
 	OnChange func(View)
 	// Logger receives membership transitions (default slog.Default()).
 	Logger *slog.Logger
+	// Journal, when set, records membership transitions (suspect,
+	// confirm-dead, refute, discovery) as structured events for
+	// GET /debug/events. Nil-safe: a nil journal records nothing.
+	Journal *journal.Journal
 }
 
 // memberState is one table entry plus local bookkeeping.
@@ -217,6 +223,8 @@ func (n *Node) expireSuspectsLocked() {
 			n.version++
 			n.logger.Info("membership: member confirmed dead",
 				"member", ms.Addr, "incarnation", ms.Incarnation)
+			n.cfg.Journal.Record(context.Background(), journal.MemberConfirmDead, ms.Addr,
+				fmt.Sprintf("suspect timeout at incarnation %d", ms.Incarnation))
 		}
 	}
 }
@@ -329,6 +337,8 @@ func (n *Node) suspect(target Member) {
 		n.version++
 		n.logger.Info("membership: member suspected",
 			"member", ms.Addr, "incarnation", ms.Incarnation)
+		n.cfg.Journal.Record(context.Background(), journal.MemberSuspect, ms.Addr,
+			fmt.Sprintf("probe round failed at incarnation %d", ms.Incarnation))
 	}
 	n.mu.Unlock()
 }
@@ -382,6 +392,8 @@ func (n *Node) merge(entries []Member) {
 				n.version++
 				n.logger.Info("membership: refuted own suspicion",
 					"incarnation", n.self.Incarnation)
+				n.cfg.Journal.Record(context.Background(), journal.MemberRefute, n.self.Addr,
+					fmt.Sprintf("bumped incarnation to %d", n.self.Incarnation))
 			}
 			continue
 		}
@@ -392,6 +404,8 @@ func (n *Node) merge(entries []Member) {
 			n.version++
 			n.logger.Info("membership: member discovered",
 				"member", e.Addr, "role", e.Role, "status", e.Status.String())
+			n.cfg.Journal.Record(context.Background(), journal.MemberAlive, e.Addr,
+				"discovered as "+e.Status.String())
 			continue
 		}
 		if !supersedes(e, ms.Member) {
@@ -404,6 +418,17 @@ func (n *Node) merge(entries []Member) {
 			n.version++
 			n.logger.Info("membership: member updated", "member", e.Addr,
 				"status", e.Status.String(), "incarnation", e.Incarnation)
+			if e.Status != ms.Status {
+				kind := journal.MemberAlive
+				switch e.Status {
+				case Suspect:
+					kind = journal.MemberSuspect
+				case Dead:
+					kind = journal.MemberConfirmDead
+				}
+				n.cfg.Journal.Record(context.Background(), kind, e.Addr,
+					fmt.Sprintf("gossip: %s at incarnation %d", e.Status, e.Incarnation))
+			}
 		}
 		ms.Status = e.Status
 		ms.Incarnation = e.Incarnation

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // debugTracesResponse answers GET /debug/traces.
@@ -76,6 +77,7 @@ func (s *Service) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.Handle("/debug/events", journal.Handler(s.journal))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux

@@ -878,6 +878,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.cache.Stats(), s.sweeps.Stats(), s.resilience())
 	snap.Traces = s.tracer.Stats()
+	snap.JournalEvents = s.journal.Counts()
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", prometheusContentType)
 		w.WriteHeader(http.StatusOK)

@@ -186,6 +186,10 @@ type Snapshot struct {
 	// Traces carries the request-tracer counters (see
 	// telemetry.TracerStats).
 	Traces telemetry.TracerStats `json:"traces"`
+	// JournalEvents counts structured journal events per kind. Every
+	// kind is present (zero or not), so the Prometheus exposition
+	// registers a counter per kind by construction.
+	JournalEvents map[string]int64 `json:"journal_events"`
 }
 
 // Snapshot exports every counter. Cumulative bucket values follow the

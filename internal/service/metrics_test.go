@@ -129,6 +129,7 @@ func TestHandlerRoutesAllRegistered(t *testing.T) {
 		{"GET", "/healthz", "/healthz"},
 		{"GET", "/metrics", "/metrics"},
 		{"GET", "/debug/traces", "/debug/traces"},
+		{"GET", "/debug/events", "/debug/events"},
 	}
 	svc := newTestService(t, Config{})
 	h := svc.Handler()

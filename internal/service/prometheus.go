@@ -235,6 +235,7 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	p.sample("linesearchd_faults_injected_total", strconv.FormatInt(snap.Resilience.FaultsInjected, 10))
 
 	writeTracerStats(p, snap.Traces)
+	writeJournalStats(p, snap.JournalEvents)
 
 	p.family("linesearchd_goroutines", "gauge", "Live goroutines.")
 	p.sample("linesearchd_goroutines", strconv.Itoa(snap.Runtime.Goroutines))
@@ -272,4 +273,23 @@ func writeTracerStats(p *promWriter, ts telemetry.TracerStats) {
 	p.sample("linesearchd_traces_evicted_total", strconv.FormatInt(ts.Evicted, 10))
 	p.family("linesearchd_traces_buffered", "gauge", "Completed traces currently retained.")
 	p.sample("linesearchd_traces_buffered", strconv.Itoa(ts.Buffered))
+	p.family("linesearchd_tracer_dropped_traces_total", "counter", "Completed traces lost to ring eviction before being read.")
+	p.sample("linesearchd_tracer_dropped_traces_total", strconv.FormatInt(ts.Evicted, 10))
+	p.family("linesearchd_tracer_truncated_traces_total", "counter", "Traces that completed with at least one span refused by the per-trace cap.")
+	p.sample("linesearchd_tracer_truncated_traces_total", strconv.FormatInt(ts.TruncatedTraces, 10))
+}
+
+// writeJournalStats emits one counter sample per journal event kind;
+// the map always holds every kind, so the family is exhaustive even
+// before the first event.
+func writeJournalStats(p *promWriter, counts map[string]int64) {
+	p.family("linesearchd_journal_events_total", "counter", "Structured journal events recorded, by kind.")
+	kinds := make([]string, 0, len(counts))
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		p.sample("linesearchd_journal_events_total", strconv.FormatInt(counts[kind], 10), "kind", kind)
+	}
 }

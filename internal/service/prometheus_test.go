@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"flag"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"linesearch/internal/sweep"
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -80,7 +82,34 @@ func goldenSnapshot() Snapshot {
 		Traces: telemetry.TracerStats{
 			RequestsSeen: 100, Sampled: 10, Finished: 9,
 			SpansDropped: 1, Evicted: 2, Buffered: 7,
+			TruncatedTraces: 1,
 		},
+		JournalEvents: func() map[string]int64 {
+			// Every kind at zero (the exhaustive-by-construction shape
+			// Journal.Counts returns), with a few nonzero samples.
+			counts := (*journal.Journal)(nil).Counts()
+			counts["breaker_open"] = 2
+			counts["member_suspect"] = 1
+			return counts
+		}(),
+	}
+}
+
+// TestPrometheusJournalExhaustive pins the acceptance contract: the
+// exposition carries a linesearchd_journal_events_total sample for
+// every declared journal kind, even before any event is recorded.
+func TestPrometheusJournalExhaustive(t *testing.T) {
+	snap := goldenSnapshot()
+	var buf bytes.Buffer
+	if err := writePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, k := range journal.Kinds() {
+		want := fmt.Sprintf(`linesearchd_journal_events_total{kind="%s"}`, k)
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing journal counter for kind %q", k)
+		}
 	}
 }
 

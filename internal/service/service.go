@@ -36,6 +36,7 @@ import (
 
 	"linesearch/internal/sweep"
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // Config tunes the service. The zero value gets sensible defaults.
@@ -79,6 +80,11 @@ type Config struct {
 	// one that traces every request with telemetry defaults; pass an
 	// explicitly configured tracer to set the sampling rate and buffer.
 	Tracer *telemetry.Tracer
+	// Journal is the structured event ring served by /debug/events.
+	// When nil, New creates one with journal defaults; pass the
+	// process-wide journal so membership and sweep events land in the
+	// same ring the service exposes.
+	Journal *journal.Journal
 	// Build overrides plan construction (tests only).
 	Build BuildFunc
 	// Sweeps is the background sweep-job manager. When nil, New creates
@@ -101,6 +107,7 @@ type Service struct {
 	metrics  *Metrics
 	logger   *slog.Logger
 	tracer   *telemetry.Tracer
+	journal  *journal.Journal
 	sweeps   *sweep.Manager
 	limiters map[string]*classLimiter
 }
@@ -114,7 +121,7 @@ var endpointNames = []string{
 	"/v1/batch", "/v1/sweeps", "/v1/sweeps/{id}", "/v1/sweeps/{id}/result",
 	"/v1/cache/snapshot",
 	"/v1/replica/checkpoints/{id}", "/v1/replica/digest",
-	"/healthz", "/metrics", "/debug/traces",
+	"/healthz", "/metrics", "/debug/traces", "/debug/events",
 }
 
 // New builds a Service from cfg, applying defaults for zero fields.
@@ -140,8 +147,11 @@ func New(cfg Config) *Service {
 	if cfg.Tracer == nil {
 		cfg.Tracer = telemetry.New(telemetry.Config{})
 	}
+	if cfg.Journal == nil {
+		cfg.Journal = journal.New(0)
+	}
 	if cfg.Sweeps == nil {
-		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger, Tracer: cfg.Tracer})
+		cfg.Sweeps = sweep.NewManager(sweep.Config{Logger: cfg.Logger, Tracer: cfg.Tracer, Journal: cfg.Journal})
 	}
 	if cfg.MaxInflightQuery == 0 {
 		cfg.MaxInflightQuery = 256
@@ -161,6 +171,7 @@ func New(cfg Config) *Service {
 		metrics: NewMetrics(endpointNames...),
 		logger:  cfg.Logger,
 		tracer:  cfg.Tracer,
+		journal: cfg.Journal,
 		sweeps:  cfg.Sweeps,
 		limiters: map[string]*classLimiter{
 			classQuery:  newClassLimiter(classQuery, cfg.MaxInflightQuery),
@@ -175,6 +186,10 @@ func New(cfg Config) *Service {
 
 // Tracer exposes the request tracer (for the debug surface and tests).
 func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Journal exposes the structured event journal (for the debug surface
+// and process wiring).
+func (s *Service) Journal() *journal.Journal { return s.journal }
 
 // Cache exposes the plan cache (stats are also on /metrics).
 func (s *Service) Cache() *PlanCache { return s.cache }
@@ -218,6 +233,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleDebugTraces)))
+	mux.Handle("GET /debug/events", s.instrument("/debug/events", journal.Handler(s.journal)))
 
 	var h http.Handler = mux
 	h = s.recoverPanics(h)

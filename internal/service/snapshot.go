@@ -14,6 +14,7 @@ import (
 
 	"linesearch/internal/faultpoint"
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // cacheSnapshotVersion guards the snapshot wire format; bump on
@@ -202,6 +203,8 @@ func (s *Service) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	telemetry.SpanFrom(r.Context()).SetInt("warmed", int64(stats.Warmed))
+	s.journal.Record(r.Context(), journal.SnapshotImport, "",
+		fmt.Sprintf("%d entries, %d warmed", len(snap.Entries), stats.Warmed))
 	s.writeJSON(w, http.StatusOK, stats)
 }
 

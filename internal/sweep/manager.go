@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"linesearch/internal/telemetry"
+	"linesearch/internal/telemetry/journal"
 )
 
 // Config tunes a Manager. The zero value gets sensible defaults.
@@ -48,6 +49,9 @@ type Config struct {
 	// Tracer samples per-cell traces into the shared debug ring buffer.
 	// Nil disables cell tracing; latency histograms are kept regardless.
 	Tracer *telemetry.Tracer
+	// Journal, when set, records cell quarantines as structured events
+	// for GET /debug/events. Nil-safe: a nil journal records nothing.
+	Journal *journal.Journal
 	// OnCheckpoint, when set, fires after every durable checkpoint
 	// write (cadence flushes and terminal states) with the exact
 	// stamped content now on disk. The fleet wiring points it at the

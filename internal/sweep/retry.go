@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"linesearch/internal/telemetry/journal"
 )
 
 // evalResilient drives one cell through the retry policy: transient
@@ -67,6 +69,8 @@ func (m *Manager) evalAttempts(ctx context.Context, p CellParams) Cell {
 		m.cellsQuarantined.Add(1)
 		m.cfg.Logger.Error("sweep cell quarantined", "cell", p.Index,
 			"attempts", cell.Attempts, "err", cell.Err)
+		m.cfg.Journal.Record(ctx, journal.CellQuarantine, "",
+			fmt.Sprintf("cell %d after %d attempts: %s", p.Index, cell.Attempts, cell.Err))
 	}
 	return cell
 }

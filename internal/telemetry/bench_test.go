@@ -44,6 +44,19 @@ func BenchmarkTracedRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkUntracedPropagation is the outbound-propagation cost on an
+// unsampled request: the router calls Traceparent on every forward, so
+// the no-trace case must stay at zero allocations.
+func BenchmarkUntracedPropagation(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tp := Traceparent(ctx); tp != "" {
+			b.Fatal("unexpected traceparent without a trace")
+		}
+	}
+}
+
 // BenchmarkTraceparentParse covers header adoption on the request path.
 func BenchmarkTraceparentParse(b *testing.B) {
 	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"

@@ -1,0 +1,30 @@
+package journal
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRecord is the cost of journalling one event from a serving
+// goroutine: a sequence increment, a per-kind counter, one striped
+// ring insert, and the (empty) trace-id lookup.
+func BenchmarkRecord(b *testing.B) {
+	j := New(0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Record(ctx, BreakerOpen, "127.0.0.1:8081", "3 consecutive failures")
+	}
+}
+
+// BenchmarkRecordNil pins the disabled path: components hold a
+// *Journal unconditionally, so a nil journal's Record must cost
+// nothing and allocate nothing.
+func BenchmarkRecordNil(b *testing.B) {
+	var j *Journal
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Record(ctx, BreakerOpen, "127.0.0.1:8081", "3 consecutive failures")
+	}
+}

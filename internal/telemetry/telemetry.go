@@ -58,6 +58,7 @@ type Tracer struct {
 	sampled      atomic.Int64
 	finished     atomic.Int64
 	spansDropped atomic.Int64
+	truncated    atomic.Int64
 }
 
 // New returns a Tracer for cfg.
@@ -93,6 +94,11 @@ type TracerStats struct {
 	// cap; Evicted counts completed traces pushed out of the ring.
 	SpansDropped int64 `json:"spans_dropped"`
 	Evicted      int64 `json:"evicted"`
+	// TruncatedTraces counts traces that completed with at least one
+	// span refused by the cap — the per-trace view of SpansDropped, so
+	// an operator can tell "one pathological request" from "every
+	// request loses its tail".
+	TruncatedTraces int64 `json:"truncated_traces"`
 	// Buffered is the point-in-time number of retained traces.
 	Buffered int `json:"buffered"`
 }
@@ -104,12 +110,13 @@ func (t *Tracer) Stats() TracerStats {
 	}
 	evicted, buffered := t.ring.stats()
 	return TracerStats{
-		RequestsSeen: t.started.Load(),
-		Sampled:      t.sampled.Load(),
-		Finished:     t.finished.Load(),
-		SpansDropped: t.spansDropped.Load(),
-		Evicted:      evicted,
-		Buffered:     buffered,
+		RequestsSeen:    t.started.Load(),
+		Sampled:         t.sampled.Load(),
+		Finished:        t.finished.Load(),
+		SpansDropped:    t.spansDropped.Load(),
+		Evicted:         evicted,
+		TruncatedTraces: t.truncated.Load(),
+		Buffered:        buffered,
 	}
 }
 
@@ -217,6 +224,26 @@ func TraceIDFrom(ctx context.Context) string {
 	return ""
 }
 
+// Traceparent renders the outbound W3C traceparent header for the
+// trace carried by ctx, with the sampled flag set — the propagation
+// half of parseTraceparent. The parent-id field is freshly generated
+// per call (this tracer does not track remote parent spans; the
+// receiving process only consumes the trace id and the flag). An
+// untraced ctx returns "" at zero allocation cost, so callers can
+// unconditionally `if tp := Traceparent(ctx); tp != "" { set header }`
+// on hot paths.
+func Traceparent(ctx context.Context) string {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	if s == nil {
+		return ""
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		b = [8]byte{'t', 'p', 0, 0, 0, 0, 0, 1}
+	}
+	return "00-" + s.t.id + "-" + hex.EncodeToString(b[:]) + "-01"
+}
+
 // SetStr annotates the span with a string attribute.
 func (s *Span) SetStr(key, v string) {
 	if s == nil {
@@ -280,6 +307,9 @@ func (s *Span) End() {
 	if completing {
 		t.tracer.ring.add(snap)
 		t.tracer.finished.Add(1)
+		if snap.DroppedSpans > 0 {
+			t.tracer.truncated.Add(1)
+		}
 	}
 }
 
